@@ -1,0 +1,40 @@
+"""Section 5.2 static configurations: p_chunk (GFSL) and p_key (M&C).
+
+Paper: "using p_chunk ≈ 1 in GFSL gave the best results in all operation
+mixtures" (lower values lengthen lateral walks without shrinking the
+height much) and "in all operation mixtures tested the best results were
+received for p_key = 0.5" for M&C.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.analysis import render_table
+from repro.experiments import ablations
+
+
+def test_p_chunk_sweep(benchmark, scale):
+    pts = benchmark.pedantic(
+        lambda: ablations.p_chunk_sweep(scale=scale), rounds=1, iterations=1)
+    text = render_table(
+        f"§5.2 p_chunk sweep — GFSL [10,10,80] (scale={scale.name})",
+        ["p_chunk", "MOPS"], [[p.parameter, p.mops] for p in pts])
+    save_result("ablation_p_chunk", text)
+    by_p = {p.parameter: p.mops for p in pts}
+    # Claim 'pchunk-1-best': p_chunk=1 at least matches every lower value.
+    assert by_p[1.0] >= max(by_p.values()) * 0.97
+    assert by_p[1.0] > by_p[0.25]
+
+
+def test_p_key_sweep(benchmark, scale):
+    pts = benchmark.pedantic(
+        lambda: ablations.p_key_sweep(scale=scale), rounds=1, iterations=1)
+    text = render_table(
+        f"§5.2 p_key sweep — M&C [10,10,80] (scale={scale.name})",
+        ["p_key", "MOPS"], [[p.parameter, p.mops] for p in pts])
+    save_result("ablation_p_key", text)
+    by_p = {p.parameter: p.mops for p in pts}
+    # Claim 'pkey-half-best': 0.5 is at or near the optimum — it must
+    # beat both extremes of the sweep.
+    assert by_p[0.5] >= by_p[0.2]
+    assert by_p[0.5] >= by_p[0.8]

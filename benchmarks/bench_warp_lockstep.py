@@ -1,0 +1,34 @@
+"""Warp-lockstep ablation (beyond the paper): how much would intra-warp
+coalescing help M&C's thread-per-op design?
+
+Every M&C traversal starts at the shared head tower, so step-aligned
+lanes coalesce those reads into single transactions; below the tower top
+the lanes' pointer chases scatter again.  The benchmark quantifies both
+effects against the per-op accounting the headline numbers use.
+"""
+
+import pytest
+
+from conftest import save_result
+from repro.analysis import render_table
+from repro.experiments import ablations
+
+
+def test_warp_lockstep_mc(benchmark, scale):
+    out = benchmark.pedantic(
+        lambda: ablations.warp_lockstep_mc(scale=scale),
+        rounds=1, iterations=1)
+    text = render_table(
+        f"M&C accounting mode — [10,10,80] (scale={scale.name})",
+        ["mode", "trans/op", "coalesced lane req/op", "divergence"],
+        [[mode, v["transactions_per_op"],
+          v["coalesced_lane_requests_per_op"], v["divergence_ratio"]]
+         for mode, v in out.items()])
+    save_result("ablation_warp_lockstep", text)
+    # Lockstep coalescing removes a meaningful share of transactions...
+    assert out["lockstep"]["transactions_per_op"] < \
+        out["per-op"]["transactions_per_op"]
+    assert out["lockstep"]["coalesced_lane_requests_per_op"] > 1.0
+    # ...but scattered per-lane traffic remains dominant: nowhere near
+    # GFSL's ~15 transactions/op.
+    assert out["lockstep"]["transactions_per_op"] > 30.0

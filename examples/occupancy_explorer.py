@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Occupancy explorer: reproduce the reasoning behind Tables 5.1/5.2.
+
+Sweeps warps-per-block for a configurable register demand and prints
+the resulting occupancy, register allocation, spill traffic, and
+simulated throughput — the resource trade-off Section 5.2 walks
+through ("each SM has a finite number of resources, which it
+distributes equally amongst all threads...").
+
+Run:  python examples/occupancy_explorer.py [regs_demanded]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+from repro.core import GFSL_KERNEL
+from repro.gpu import DeviceConfig, LaunchConfig, compute_occupancy
+from repro.workloads import MIX_10_10_80, generate, run_workload
+
+
+def main() -> None:
+    regs = int(sys.argv[1]) if len(sys.argv) > 1 else GFSL_KERNEL.regs_demanded
+    device = DeviceConfig.gtx970()
+    kernel = replace(GFSL_KERNEL, regs_demanded=regs)
+    w = generate(MIX_10_10_80, key_range=300_000, n_ops=500, seed=1)
+
+    print(f"device: {device.name} — {device.num_sms} SMs, "
+          f"{device.registers_per_sm} regs/SM, "
+          f"{device.max_warps_per_sm} warps/SM")
+    print(f"kernel register demand: {regs}\n")
+    header = (f"{'warps/blk':>9} {'blocks':>7} {'regs':>5} {'occ%':>6} "
+              f"{'spill/op':>9} {'MOPS':>7}  note")
+    print(header)
+    print("-" * len(header))
+    best = None
+    for wpb in (4, 8, 12, 16, 20, 24, 28, 32):
+        launch = LaunchConfig(warps_per_block=wpb)
+        occ = compute_occupancy(device, launch, kernel)
+        r = run_workload("gfsl", w, launch=launch)
+        note = ""
+        if occ.spilled:
+            note = f"spilling {occ.spill_fraction:.0%} of demand"
+        elif occ.theoretical_occupancy < 0.45:
+            note = "latency-hiding starved"
+        print(f"{wpb:>9} {occ.active_blocks:>7} {occ.allocated_regs:>5} "
+              f"{occ.theoretical_occupancy * 100:>6.1f} "
+              f"{occ.spill_accesses_per_op:>9.1f} {r.mops:>7.1f}  {note}")
+        if best is None or r.mops > best[1]:
+            best = (wpb, r.mops)
+    print(f"\nbest launch shape: {best[0]} warps/block ({best[1]:.1f} MOPS) — "
+          "the paper settles on 16 (Table 5.1)")
+
+
+if __name__ == "__main__":
+    main()

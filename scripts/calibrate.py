@@ -1,0 +1,21 @@
+"""Calibration sweep: prints the [10,10,80] and [1,1,98] curves for
+GFSL-32 and M&C across key ranges, for cost-model tuning."""
+import sys, time
+from repro.workloads import generate, run_workload, MIX_10_10_80, MIX_1_1_98, MIX_20_20_60, CONTAINS_ONLY
+
+ranges = [10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_000]
+mixes = {"[10,10,80]": MIX_10_10_80, "[1,1,98]": MIX_1_1_98, "[20,20,60]": MIX_20_20_60, "c-only": CONTAINS_ONLY}
+which = sys.argv[1:] or list(mixes)
+NOPS = 1200
+for name in which:
+    mix = mixes[name]
+    print(f"== {name} ==")
+    for r in ranges:
+        w = generate(mix, key_range=r, n_ops=NOPS, seed=1)
+        t0 = time.time()
+        g = run_workload("gfsl", w, team_size=32)
+        m = run_workload("mc", w)
+        ratio = g.mops / m.mops if not m.oom else float('nan')
+        print(f"  {r:>11,}  GFSL={g.mops:6.1f} ({g.bottleneck[:4]} l2={g.l2_hit_rate:.2f} t={g.transactions_per_op:5.1f})"
+              f"  M&C={m.mops:6.1f} ({m.bottleneck[:4]} l2={m.l2_hit_rate:.2f} t={m.transactions_per_op:5.1f})"
+              f"  ratio={ratio:5.2f}  [{time.time()-t0:.0f}s]")

@@ -1,0 +1,15 @@
+"""Reproduction of "A GPU-Friendly Skiplist Algorithm" (GFSL).
+
+Moscovici, Cohen, Petrank — PPoPP 2017 poster / PACT 2017.
+
+Public entry points:
+
+* :class:`repro.core.GFSL` — the paper's chunked, warp-cooperative skiplist,
+* :class:`repro.baseline.MCSkiplist` — the Misra & Chaudhuri lock-free
+  skiplist baseline,
+* :mod:`repro.gpu` — the SIMT simulator both run on,
+* :mod:`repro.workloads` — the paper's benchmark workload generators,
+* :mod:`repro.experiments` — one entry per table/figure in Chapter 5.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,9 @@
+"""``repro.analysis`` — statistics (means, 95% CIs, speedups) and the
+paper-style ASCII table/series renderers."""
+
+from .report import fmt, human_range, render_series, render_table
+from .stats import Summary, geometric_mean, speedup, summarize, t_critical_95
+
+__all__ = ["fmt", "human_range", "render_series", "render_table",
+           "Summary", "geometric_mean", "speedup", "summarize",
+           "t_critical_95"]

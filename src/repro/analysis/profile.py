@@ -1,0 +1,100 @@
+"""Per-operation device-cost profiling.
+
+Runs labelled operation samples against a structure, capturing a fresh
+trace per operation, and aggregates the device-side cost distribution
+(transactions, coalesced/scalar splits, DRAM share, event counts) per
+operation type — the simulator's analogue of the CUDA profiler runs
+behind Tables 5.1/5.2 ("Further profiling shows that M&C suffers, as
+expected, from high divergence and inefficient memory alignment").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.tracer import TraceStats
+
+
+@dataclass
+class OpProfile:
+    """Cost distribution of one operation type."""
+
+    label: str
+    samples: int = 0
+    transactions: list[int] = field(default_factory=list)
+    dram: list[int] = field(default_factory=list)
+    coalesced: list[int] = field(default_factory=list)
+    scalar: list[int] = field(default_factory=list)
+    atomics: list[int] = field(default_factory=list)
+
+    def add(self, stats: TraceStats) -> None:
+        self.samples += 1
+        self.transactions.append(stats.transactions)
+        self.dram.append(stats.dram_transactions)
+        self.coalesced.append(stats.coalesced_accesses)
+        self.scalar.append(stats.scalar_accesses)
+        self.atomics.append(stats.atomic_ops)
+
+    def summary(self) -> dict:
+        def stats_of(xs):
+            arr = np.asarray(xs, dtype=float)
+            if arr.size == 0:
+                return dict(mean=float("nan"), p50=float("nan"),
+                            p95=float("nan"), max=float("nan"))
+            return dict(mean=float(arr.mean()),
+                        p50=float(np.percentile(arr, 50)),
+                        p95=float(np.percentile(arr, 95)),
+                        max=float(arr.max()))
+        return dict(label=self.label, samples=self.samples,
+                    transactions=stats_of(self.transactions),
+                    dram=stats_of(self.dram),
+                    coalesced=stats_of(self.coalesced),
+                    scalar=stats_of(self.scalar),
+                    atomics=stats_of(self.atomics))
+
+
+class DeviceProfiler:
+    """Profile operations on any structure exposing ``ctx`` and
+    ``*_gen`` factories (GFSL or MCSkiplist)."""
+
+    def __init__(self, structure):
+        self.structure = structure
+        self.profiles: dict[str, OpProfile] = {}
+
+    def profile(self, label: str, gen) -> None:
+        """Run one operation with isolated stats and record its cost."""
+        tracer = self.structure.ctx.tracer
+        saved = tracer.stats
+        tracer.stats = TraceStats()
+        try:
+            self.structure.ctx.run(gen)
+            self.profiles.setdefault(label, OpProfile(label)).add(
+                tracer.stats)
+        finally:
+            saved.merge(tracer.stats)
+            tracer.stats = saved
+
+    def profile_many(self, label: str, gens) -> None:
+        for g in gens:
+            self.profile(label, g)
+
+    def report(self) -> list[dict]:
+        return [p.summary() for p in self.profiles.values()]
+
+    def render(self) -> str:
+        from .report import render_table
+        rows = []
+        for s in self.report():
+            rows.append([s["label"], s["samples"],
+                         s["transactions"]["mean"],
+                         s["transactions"]["p95"],
+                         s["dram"]["mean"],
+                         s["coalesced"]["mean"],
+                         s["scalar"]["mean"],
+                         s["atomics"]["mean"]])
+        return render_table(
+            "Per-op device cost profile",
+            ["op", "n", "trans(mean)", "trans(p95)", "dram", "coalesced",
+             "scalar", "atomics"], rows)

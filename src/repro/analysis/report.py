@@ -1,0 +1,74 @@
+"""ASCII rendering of experiment outputs in the paper's format.
+
+Every benchmark prints the rows/series its table or figure reports,
+side by side with the paper's published values where available, so the
+test log doubles as the reproduction record (EXPERIMENTS.md is generated
+from the same renderers).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def fmt(value, width: int = 8, prec: int = 1) -> str:
+    """Format one cell: numbers fixed-point, NaN as the paper's missing
+    points ('—', e.g. M&C out-of-memory ranges)."""
+    if value is None:
+        return "—".rjust(width)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "—".rjust(width)
+        return f"{value:.{prec}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence], widths: Sequence[int] | None = None
+                 ) -> str:
+    rows = [list(r) for r in rows]
+    if widths is None:
+        widths = [max(len(str(h)), *(len(_cell(r[i])) for r in rows)) + 2
+                  if rows else len(str(h)) + 2
+                  for i, h in enumerate(headers)]
+    lines = [title]
+    lines.append("  " + "".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  " + "-" * sum(widths))
+    for r in rows:
+        lines.append("  " + "".join(_cell(c).rjust(w)
+                                    for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _cell(c) -> str:
+    if c is None:
+        return "—"
+    if isinstance(c, float):
+        if math.isnan(c):
+            return "—"
+        return f"{c:.2f}" if abs(c) < 100 else f"{c:.1f}"
+    return str(c)
+
+
+def render_series(title: str, x_label: str, xs: Sequence,
+                  series: dict[str, Sequence[float]]) -> str:
+    """A figure as a table: one row per x value, one column per line."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([_human(x)] + [series[name][i] for name in series])
+    return render_table(title, headers, rows)
+
+
+def _human(x) -> str:
+    if isinstance(x, int) and x >= 1000:
+        if x % 1_000_000 == 0:
+            return f"{x // 1_000_000}M"
+        if x % 1_000 == 0:
+            return f"{x // 1_000}K"
+    return str(x)
+
+
+def human_range(x: int) -> str:
+    return _human(x)

@@ -1,0 +1,79 @@
+"""Summary statistics for benchmark repetitions.
+
+The paper runs each experiment ten times and reports means with 95%
+confidence intervals (Section 5.1); these helpers do the same for the
+simulated repetitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+# Two-sided 95% t-distribution critical values for small sample sizes
+# (index = degrees of freedom); falls back to the normal 1.96 beyond.
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+
+
+def t_critical_95(dof: int) -> float:
+    if dof <= 0:
+        return float("nan")
+    return _T95.get(dof, 1.96)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with a 95% confidence half-interval."""
+
+    mean: float
+    ci95: float
+    n: int
+    std: float
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.ci95
+
+    @property
+    def rel_ci(self) -> float:
+        """CI as a fraction of the mean (the paper quotes 'confidence
+        intervals up to 50%' this way)."""
+        return self.ci95 / self.mean if self.mean else float("nan")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.2f}±{self.ci95:.2f}"
+
+
+def summarize(values) -> Summary:
+    """95% CI via the t-distribution (matching 10-repetition reporting)."""
+    vals = np.asarray([v for v in values if not math.isnan(v)], dtype=float)
+    n = int(vals.size)
+    if n == 0:
+        return Summary(float("nan"), float("nan"), 0, float("nan"))
+    mean = float(vals.mean())
+    if n == 1:
+        return Summary(mean, 0.0, 1, 0.0)
+    std = float(vals.std(ddof=1))
+    ci = t_critical_95(n - 1) * std / math.sqrt(n)
+    return Summary(mean, ci, n, std)
+
+
+def speedup(numer: Summary, denom: Summary) -> float:
+    """Ratio of means (Figure 5.2's GFSL/M&C series)."""
+    if denom.mean == 0 or math.isnan(denom.mean) or math.isnan(numer.mean):
+        return float("nan")
+    return numer.mean / denom.mean
+
+
+def geometric_mean(values) -> float:
+    vals = np.asarray([v for v in values if not math.isnan(v)], dtype=float)
+    if vals.size == 0 or (vals <= 0).any():
+        return float("nan")
+    return float(np.exp(np.log(vals).mean()))

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    One-minute tour: build, mutate, search, validate, show device costs.
+``point``
+    Run a single benchmark data point (structure × mixture × range) and
+    print the throughput diagnostics.
+``figure``
+    Regenerate one of the paper's figures (5.1–5.4) at the chosen scale.
+``table``
+    Regenerate Table 5.1 or 5.2.
+``stress``
+    Interleaved concurrency stress with invariant auditing (exits
+    non-zero on any violation) — a fuzzing entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_scale_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", choices=("smoke", "quick", "paper"),
+                   default=None, help="experiment scale preset "
+                   "(default: REPRO_SCALE or quick)")
+
+
+def _resolve_scale(args):
+    import os
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+    from .experiments.harness import current_scale
+    return current_scale()
+
+
+def cmd_demo(args) -> int:
+    """One-minute GFSL tour on the simulated device."""
+    from .core import GFSL, suggest_capacity, validate_structure
+    sl = GFSL(capacity_chunks=suggest_capacity(1000), team_size=32, seed=1)
+    print("GFSL demo on the simulated GTX 970")
+    for k in (30, 10, 20):
+        sl.insert(k, k * 11)
+    print("  inserted 10/20/30 →", sl.items())
+    sl.delete(20)
+    print("  deleted 20 → contains(20):", sl.contains(20))
+    sl.ctx.tracer.reset_stats()
+    sl.contains(10)
+    t = sl.ctx.tracer.stats
+    print(f"  one contains: {t.transactions} transactions, "
+          f"{t.coalesced_accesses} coalesced chunk reads")
+    print("  invariants:", validate_structure(sl))
+    return 0
+
+
+def cmd_point(args) -> int:
+    """Run a single benchmark data point and print diagnostics."""
+    from .workloads import Mixture, generate, run_workload
+    mix = Mixture(args.inserts, args.deletes,
+                  100 - args.inserts - args.deletes)
+    w = generate(mix, key_range=args.range, n_ops=args.ops, seed=args.seed)
+    r = run_workload(args.structure, w, team_size=args.team_size)
+    if r.oom:
+        print(f"{r.structure} @ {args.range:,}: OOM at paper scale "
+              "(Section 5.3)")
+        return 0
+    print(f"{r.structure} {mix.name} @ {args.range:,} keys: "
+          f"{r.mops:.1f} MOPS")
+    print(f"  bottleneck={r.bottleneck} l2_hit={r.l2_hit_rate:.2f} "
+          f"transactions/op={r.transactions_per_op:.1f} "
+          f"occupancy={r.occupancy:.2f}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    """Regenerate one of the paper's figures (5.1-5.4)."""
+    from .experiments import figures
+    scale = _resolve_scale(args)
+    name = args.name
+    if name == "5.1":
+        print(figures.figure_5_1(scale).render())
+    elif name == "5.2":
+        fig = figures.figure_5_2(scale)
+        print(figures.render_figure_5_2(fig))
+    elif name == "5.3":
+        for mix_name, fig in figures.figure_5_3(scale).items():
+            print(fig.render())
+            print()
+    elif name == "5.4":
+        for label, fig in figures.figure_5_4(scale).items():
+            print(fig.render())
+            print()
+    else:
+        print(f"unknown figure {name!r} (choose 5.1/5.2/5.3/5.4)",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_table(args) -> int:
+    """Regenerate Table 5.1 or 5.2."""
+    from .experiments import paper_data, tables
+    scale = _resolve_scale(args)
+    if args.name == "5.1":
+        rows = tables.table_5_1(scale)
+        print(tables.render(rows, "Table 5.1 — GFSL warps/block",
+                            paper_data.TABLE_5_1))
+    elif args.name == "5.2":
+        rows = tables.table_5_2(scale)
+        print(tables.render(rows, "Table 5.2 — M&C warps/block",
+                            paper_data.TABLE_5_2))
+    else:
+        print(f"unknown table {args.name!r} (choose 5.1/5.2)",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_stress(args) -> int:
+    """Interleaved concurrency fuzzing with a full history audit."""
+    from .core import GFSL, bulk_build_into, suggest_capacity, validate_structure
+    rng = np.random.default_rng(args.seed)
+    sl = GFSL(capacity_chunks=suggest_capacity(args.range * 2),
+              team_size=args.team_size, seed=args.seed)
+    prefill = rng.choice(np.arange(1, args.range + 1),
+                         size=args.range // 2, replace=False)
+    bulk_build_into(sl, [(int(k), 0) for k in prefill], rng=sl.rng)
+    ops, gens = [], []
+    for _ in range(args.ops):
+        k = int(rng.integers(1, args.range + 1))
+        op = rng.choice(["insert", "delete", "contains"])
+        ops.append((op, k))
+        gens.append(getattr(sl, f"{op}_gen")(k))
+    results = sl.ctx.run_concurrent(gens, seed=args.seed)
+    final = set(sl.keys())
+    pre = set(int(k) for k in prefill)
+    per_key: dict[int, list] = {}
+    for (op, k), r in zip(ops, results):
+        per_key.setdefault(k, []).append((op, r.value))
+    for k, events in per_key.items():
+        ins = sum(1 for op, v in events if op == "insert" and v)
+        dels = sum(1 for op, v in events if op == "delete" and v)
+        if int(k in pre) + ins - dels != int(k in final):
+            print(f"INCONSISTENT history for key {k}", file=sys.stderr)
+            return 1
+    stats = validate_structure(sl)
+    s = sl.op_stats
+    print(f"stress OK: {args.ops} interleaved ops over {args.range:,} keys "
+          f"(seed {args.seed})")
+    print(f"  splits={s.splits} merges={s.merges} "
+          f"zombies_unlinked={s.zombies_unlinked} "
+          f"restarts={s.contains_restarts} height={stats['height']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Assemble the ``repro`` argument parser."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU-Friendly Skiplist reproduction (PPoPP'17/PACT'17)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="one-minute API tour").set_defaults(
+        func=cmd_demo)
+
+    pp = sub.add_parser("point", help="run one benchmark data point")
+    pp.add_argument("--structure", choices=("gfsl", "mc"), default="gfsl")
+    pp.add_argument("--range", type=int, default=1_000_000)
+    pp.add_argument("--ops", type=int, default=1000)
+    pp.add_argument("--inserts", type=int, default=10)
+    pp.add_argument("--deletes", type=int, default=10)
+    pp.add_argument("--team-size", type=int, default=32)
+    pp.add_argument("--seed", type=int, default=0)
+    pp.set_defaults(func=cmd_point)
+
+    pf = sub.add_parser("figure", help="regenerate a paper figure")
+    pf.add_argument("name", help="5.1 / 5.2 / 5.3 / 5.4")
+    _add_scale_arg(pf)
+    pf.set_defaults(func=cmd_figure)
+
+    pt = sub.add_parser("table", help="regenerate a paper table")
+    pt.add_argument("name", help="5.1 / 5.2")
+    _add_scale_arg(pt)
+    pt.set_defaults(func=cmd_table)
+
+    ps = sub.add_parser("stress", help="interleaved concurrency fuzzing")
+    ps.add_argument("--range", type=int, default=2_000)
+    ps.add_argument("--ops", type=int, default=800)
+    ps.add_argument("--team-size", type=int, default=16)
+    ps.add_argument("--seed", type=int, default=0)
+    ps.set_defaults(func=cmd_stress)
+    return p
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

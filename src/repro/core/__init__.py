@@ -1,0 +1,20 @@
+"""``repro.core`` — GFSL, the paper's GPU-friendly skiplist.
+
+The structure is a tower of chunked linked lists traversed and mutated
+by warp-cooperative team operations; see DESIGN.md and the module
+docstrings for the mapping onto the thesis algorithms.
+"""
+
+from . import constants
+from .bulk import bulk_build_into, warm_structure
+from .chunk import ChunkGeometry
+from .gfsl import GFSL, GFSL_KERNEL, OpStats, suggest_capacity
+from .validate import (InvariantViolation, bottom_items, count_zombies,
+                       level_items, structure_height, validate_structure)
+
+__all__ = [
+    "GFSL", "GFSL_KERNEL", "OpStats", "suggest_capacity", "ChunkGeometry",
+    "bulk_build_into", "warm_structure", "constants", "InvariantViolation",
+    "bottom_items", "count_zombies", "level_items", "structure_height",
+    "validate_structure",
+]

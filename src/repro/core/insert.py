@@ -1,0 +1,183 @@
+"""Insert path: Algorithms 4.5, 4.7, 4.9 (and Figures 4.2–4.4).
+
+Insertion is bottom-up: the enclosing chunk at the bottom level stays
+locked for the whole operation (so no other team can update the same key
+concurrently), while each upper level is a short lock–insert–unlock
+section.  A key ascends to level *i+1* only when its insertion split a
+chunk at level *i*, with probability ``p_chunk``.
+"""
+
+from __future__ import annotations
+
+from ..gpu import events as ev
+from ..gpu import intrinsics as intr
+from . import constants as C
+from . import team
+from .chunk import keys_vec, max_field, num_live_entries, pack_next
+from .downptrs import update_down_ptrs
+from .locks import find_and_lock_enclosing, lock_next_chunk, unlock_chunk
+from .traversal import read_chunk, search_slow
+
+
+def execute_insert(sl, ptr: int, kvs, k: int, v: int):
+    """Algorithm 4.7 / Figure 4.3: shift entries greater than ``k`` one
+    slot right, writing serially from the highest DATA index down to the
+    insertion index so no existing key ever transiently disappears.
+
+    Each lane's candidate value is its left neighbour's entry
+    (``__shfl_up``); the lane at the insertion index substitutes
+    ``(k, v)``.  Lanes whose candidate is EMPTY skip their write.
+    """
+    geo = sl.geo
+    idx = team.insertion_idx(k, kvs, geo)
+    shifted = intr.shfl_up(kvs[: geo.dsize], 1)
+    keys = keys_vec(kvs)
+    new_kv = C.pack_kv(k, v)
+    for i in range(geo.dsize - 1, idx, -1):
+        candidate = int(shifted[i])
+        if (candidate & C.MASK32) == C.EMPTY_KEY:
+            continue  # shifting an empty slot: nothing to write
+        if keys[i] == (candidate & C.MASK32) and int(kvs[i]) == candidate:
+            continue  # value already in place (idempotent slot)
+        yield ev.WordWrite(sl.layout.entry_addr(ptr, i), candidate)
+    yield ev.WordWrite(sl.layout.entry_addr(ptr, idx), new_kv)
+
+
+def pre_split(sl, p_split: int, kvs):
+    """Algorithm 4.9 ``preSplit``: lock the successor (unlinking zombie
+    chains), allocate the new chunk, and point it at the successor.
+    Returns ``(p_new, p_next, own_kvs)``."""
+    geo = sl.geo
+    p_next, _next_kvs, kvs = yield from lock_next_chunk(sl, p_split, kvs)
+    p_new = yield from sl.pool.alloc()
+    nxt = p_next if p_next is not None else C.NULL_PTR
+    # The new chunk inherits the split chunk's max field; it is invisible
+    # until pSplit's NEXT word is redirected, so a plain write is safe.
+    yield ev.WordWrite(sl.layout.entry_addr(p_new, geo.next_idx),
+                       pack_next(max_field(kvs, geo), nxt))
+    return p_new, p_next, kvs
+
+
+def split_copy(sl, p_split: int, kvs, p_new: int):
+    """Algorithm 4.9 ``splitCopy``: move the top half of a full chunk to
+    the new chunk, publish it with a single atomic NEXT-word write, then
+    empty the moved slots (high lanes first, relying on traversal
+    precedence).  Returns the threshold key (new max of ``p_split``)."""
+    geo = sl.geo
+    keys = keys_vec(kvs)
+    thresh = int(keys[geo.split_keep - 1])
+    moved = kvs[geo.split_keep: geo.dsize]
+    # Populate the still-private new chunk with one coalesced store.
+    yield ev.ChunkWrite(sl.layout.chunk_addr(p_new),
+                        tuple(int(w) for w in moved))
+    # One atomic write redirects pSplit's next pointer *and* lowers its
+    # max field — the publication point of the split.
+    yield ev.WordWrite(sl.layout.entry_addr(p_split, geo.next_idx),
+                       pack_next(thresh, p_new))
+    # Empty the moved entries, highest tId first.
+    for i in range(geo.dsize - 1, geo.split_keep - 1, -1):
+        yield ev.WordWrite(sl.layout.entry_addr(p_split, i), C.EMPTY_KV)
+    return thresh
+
+
+def split_insert(sl, p_split: int, kvs, k: int, v: int, level: int):
+    """Algorithm 4.9 ``splitInsert``: split a full chunk and insert
+    ``(k, v)`` into whichever half now encloses it.
+
+    Returns ``(p_insert, raised_key, raised_chunk)`` where ``p_insert``
+    is the (still locked) chunk holding ``k``; the other half and the
+    locked successor are released here.  ``raised_key`` is the candidate
+    for level *i+1* and ``raised_chunk`` the chunk its down pointer
+    should name.
+    """
+    geo = sl.geo
+    moved_keys = [int(x) for x in keys_vec(kvs)[geo.split_keep: geo.dsize]]
+    p_new, p_next, kvs = yield from pre_split(sl, p_split, kvs)
+    thresh = yield from split_copy(sl, p_split, kvs, p_new)
+    if p_next is not None:
+        yield from unlock_chunk(sl, p_next)
+
+    p_insert = p_new if k > thresh else p_split
+    ins_kvs = yield from read_chunk(sl, p_insert)
+    yield from execute_insert(sl, p_insert, ins_kvs, k, v)
+
+    if p_insert == p_split:
+        yield from unlock_chunk(sl, p_new)
+    else:
+        yield from unlock_chunk(sl, p_split)
+
+    # Which key ascends if the coin flip says so (Section 4.2.2): from
+    # the bottom level, max(k, minK of the new chunk) — both are covered
+    # by the bottom lock or reside in the new chunk; in upper levels it
+    # must be k itself, the key whose insertion caused the split.
+    min_new = moved_keys[0]
+    if level == 0:
+        raised_key = max(k, min_new)
+        raised_chunk = p_new  # max(k, minK) > thresh, so it lives in pNew
+    else:
+        raised_key = k
+        raised_chunk = p_insert
+
+    # Repair level-(i+1) down pointers of the keys that moved to pNew.
+    # k itself cannot be in level i+1 yet (insertion is bottom-up).
+    yield from update_down_ptrs(sl, level, moved_keys, p_new)
+    return p_insert, raised_key, raised_chunk
+
+
+def insert_to_level(sl, level: int, p_enc: int, k: int, v: int):
+    """Algorithm 4.5 ``insertToLevel``.
+
+    Returns ``(ok, p_locked, raised_key, raised_chunk, raise_next)``:
+    ``p_locked`` is the chunk left locked (the one holding ``k`` on
+    success; the enclosing chunk if ``k`` was already present) — the
+    caller decides when to release it.
+    """
+    geo = sl.geo
+    p_enc, kvs = yield from find_and_lock_enclosing(sl, p_enc, k)
+    if team.chunk_contains(k, kvs, geo):
+        return False, p_enc, None, None, False
+
+    if num_live_entries(kvs, geo) < geo.dsize:
+        yield from execute_insert(sl, p_enc, kvs, k, v)
+        if level > 0:
+            empty = yield from sl.head.is_level_empty(level)
+            if empty:
+                yield from sl.head.increment_chunks(level)
+        return True, p_enc, k, p_enc, False
+
+    p_insert, raised_key, raised_chunk = yield from split_insert(
+        sl, p_enc, kvs, k, v, level)
+    yield from sl.head.increment_chunks(level)
+    raise_next = bool(sl.rng.random() < sl.p_chunk)
+    sl.op_stats.splits += 1
+    return True, p_insert, raised_key, raised_chunk, raise_next
+
+
+def insert(sl, k: int, v: int):
+    """Algorithm 4.5 ``insert``: the public insert operation."""
+    found, path = yield from search_slow(sl, k)
+    if found:
+        return False
+
+    ok, p_bottom, raised_key, raised_chunk, raise_next = \
+        yield from insert_to_level(sl, 0, path[0], k, v)
+    if not ok:
+        yield from unlock_chunk(sl, p_bottom)
+        return False
+
+    level = 1
+    v_ptr = raised_chunk          # down pointer for the raised key
+    key_up = raised_key
+    while raise_next and level < sl.layout.max_level:
+        ok, p_enc, key2, chunk2, raise_next = yield from insert_to_level(
+            sl, level, path[level], key_up, v_ptr)
+        yield from unlock_chunk(sl, p_enc)
+        if not ok:
+            break
+        v_ptr = chunk2
+        key_up = key2
+        level += 1
+
+    yield from unlock_chunk(sl, p_bottom)
+    sl.op_stats.inserts += 1
+    return True

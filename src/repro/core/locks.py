@@ -1,0 +1,106 @@
+"""Chunk locking protocol (Algorithm 4.8 and the zombie mark).
+
+The LOCK entry of a chunk holds UNLOCKED, LOCKED, or the terminal ZOMBIE
+value.  Locks are taken with atomicCAS; the deadlock hazard of warp
+spin-locks (Section 2.2) does not arise because the whole *team* spins
+together — there is never a divergent branch between a lock holder and
+spinners inside one warp.
+
+Lock ordering (why this cannot deadlock): within a level, multi-chunk
+sections (split, merge) always lock left-to-right in list order; across
+levels, an operation holding level-*i* locks only ever waits for
+level-*i*+1 locks (updateDownPtrs, key raising) — all waits point
+rightward or upward, so no cycle can form.
+"""
+
+from __future__ import annotations
+
+from ..gpu import events as ev
+from . import constants as C
+from . import team
+from .chunk import is_locked, next_ptr
+from .traversal import read_chunk, skip_zombies
+
+
+def try_lock_chunk(sl, ptr: int):
+    """Single CAS attempt on the lock word; True on success.  Fails on a
+    locked chunk *and* on a zombie (its lock word is ZOMBIE, never
+    UNLOCKED), which is exactly the behaviour the lazy redirect needs."""
+    addr = sl.layout.entry_addr(ptr, sl.geo.lock_idx)
+    old = yield ev.WordCAS(addr, C.UNLOCKED, C.LOCKED)
+    return old == C.UNLOCKED
+
+
+def unlock_chunk(sl, ptr: int):
+    """Release a lock we hold.  A plain atomic store suffices — only the
+    holder may release, and a zombie is never unlocked (the mark is
+    terminal), so the holder knows the current value is LOCKED."""
+    yield ev.WordWrite(sl.layout.entry_addr(ptr, sl.geo.lock_idx), C.UNLOCKED)
+
+
+def mark_zombie(sl, ptr: int):
+    """Terminal transition LOCKED → ZOMBIE, done by the merging team
+    while it holds the lock (Section 4.1).  The chunk's contents are
+    frozen from this point on."""
+    yield ev.WordWrite(sl.layout.entry_addr(ptr, sl.geo.lock_idx), C.ZOMBIE)
+
+
+def find_and_lock_enclosing(sl, ptr: int, k: int):
+    """Algorithm 4.8: lateral spin until the enclosing chunk of ``k`` is
+    locked.  Returns ``(locked_ptr, kvs)`` with ``kvs`` the post-lock
+    snapshot (re-read under the lock, line 16)."""
+    geo = sl.geo
+    while True:
+        kvs = yield from read_chunk(sl, ptr)
+        if team.chunk_not_enclosing(k, kvs, geo):
+            ptr = next_ptr(kvs, geo)
+            continue
+        if is_locked(kvs, geo):
+            # Spin: re-read (the yield gives other teams their turn).
+            continue
+        got = yield from try_lock_chunk(sl, ptr)
+        if not got:
+            continue
+        kvs = yield from read_chunk(sl, ptr)
+        if team.chunk_not_enclosing(k, kvs, geo):
+            # The chunk changed under us before the CAS landed.
+            yield from unlock_chunk(sl, ptr)
+            ptr = next_ptr(kvs, geo)
+            continue
+        return ptr, kvs
+
+
+def lock_next_chunk(sl, ptr: int, kvs):
+    """Lock the next *non-zombie* chunk of a chunk we already hold,
+    unlinking any zombie chain found in between (the merge/split helper
+    of Algorithms 4.9/4.12).  Returns ``(next_ptr, next_kvs, own_kvs)``
+    — ``own_kvs`` is the caller chunk's snapshot after any pointer swings
+    — or ``(None, None, own_kvs)`` if ``ptr`` is the last in its level.
+
+    Holding ``ptr``'s lock means its next pointer is stable except for
+    our own writes, so after skipping zombies we may swing it directly.
+    """
+    geo = sl.geo
+    while True:
+        nxt = next_ptr(kvs, geo)
+        if nxt == C.NULL_PTR:
+            return None, None, kvs
+        nkvs = yield from read_chunk(sl, nxt)
+        live_ptr, live_kvs = yield from skip_zombies(sl, nxt, nkvs)
+        if live_ptr != nxt:
+            # Unlink the zombie chain: we hold ptr's lock, so a plain
+            # pointer swing is race-free.
+            from .chunk import max_field, pack_next
+            yield ev.WordWrite(
+                sl.layout.entry_addr(ptr, geo.next_idx),
+                pack_next(max_field(kvs, geo), live_ptr))
+            sl.op_stats.zombies_unlinked += 1
+            kvs = yield from read_chunk(sl, ptr)
+            continue
+        got = yield from try_lock_chunk(sl, live_ptr)
+        if not got:
+            # Re-read our own chunk in case the neighbour merged/zombied.
+            kvs = yield from read_chunk(sl, ptr)
+            continue
+        nkvs = yield from read_chunk(sl, live_ptr)
+        return live_ptr, nkvs, kvs

@@ -1,0 +1,112 @@
+"""Structure memory map and the chunk memory pool.
+
+During initialization GFSL "allocates an array of chunks in the device
+memory for a memory pool... Allocations from the memory pool are
+performed by incrementing a global counter and using the resulting index
+as a pointer.  All chunks are allocated locked with ∞ values in all
+key-data pairs, as well as in the max field" (Section 4.1).
+
+The device-memory map of one GFSL instance::
+
+    word 0 .. L-1        head array: one packed word per level
+                         (chunk counter in the lower 32 bits, pointer to
+                          the first chunk in the upper 32)
+    word L               pool allocation counter
+    <pad to a cache line>
+    chunks               capacity * N words, chunk i at chunks_base + i*N
+
+Chunks are cache-line aligned (N of 16 → one 128 B line, N of 32 → two),
+which is what makes a team's chunk read cost 1–2 transactions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import events as ev
+from ..gpu.memory import GlobalMemory
+from . import constants as C
+from .chunk import ChunkGeometry
+
+WORDS_PER_LINE = 16  # 128-byte lines of 8-byte words
+
+
+class OutOfChunks(RuntimeError):
+    """The pool's bump allocator ran past capacity (the failure mode the
+    paper observes for M&C at large ranges, Section 5.3)."""
+
+
+class StructureLayout:
+    """Address arithmetic for one GFSL instance inside device memory."""
+
+    def __init__(self, geo: ChunkGeometry, max_level: int,
+                 capacity_chunks: int, base: int = 0):
+        self.geo = geo
+        self.max_level = max_level
+        self.capacity_chunks = capacity_chunks
+        self.base = base
+        self.head_base = base
+        self.pool_ctr_addr = base + max_level
+        raw_start = base + max_level + 1
+        self.chunks_base = -(-raw_start // WORDS_PER_LINE) * WORDS_PER_LINE
+        self.total_words = self.chunks_base - base + capacity_chunks * geo.n
+
+    def head_addr(self, level: int) -> int:
+        return self.head_base + level
+
+    def chunk_addr(self, ptr: int) -> int:
+        if ptr < 0 or ptr >= self.capacity_chunks:
+            raise IndexError(f"chunk pointer {ptr} out of pool range")
+        return self.chunks_base + ptr * self.geo.n
+
+    def entry_addr(self, ptr: int, entry: int) -> int:
+        return self.chunk_addr(ptr) + entry
+
+    def ptr_of_addr(self, addr: int) -> int:
+        return (addr - self.chunks_base) // self.geo.n
+
+
+class ChunkPool:
+    """Bump allocator over the chunk region."""
+
+    def __init__(self, layout: StructureLayout):
+        self.layout = layout
+
+    # -- host-side -------------------------------------------------------
+    def format(self, mem: GlobalMemory) -> None:
+        """Initialize the pool: every chunk locked, all keys ∞, NEXT word
+        (∞ max, NULL pointer) — the allocation-time state of Section 4.1."""
+        lay = self.layout
+        geo = lay.geo
+        pattern = np.empty(geo.n, dtype=np.uint64)
+        pattern[: geo.dsize] = np.uint64(C.EMPTY_KV)
+        pattern[geo.next_idx] = np.uint64(C.pack_kv(C.EMPTY_KEY, C.NULL_PTR))
+        pattern[geo.lock_idx] = np.uint64(C.LOCKED)
+        region = mem.raw()[lay.chunks_base: lay.chunks_base
+                           + lay.capacity_chunks * geo.n]
+        region.reshape(lay.capacity_chunks, geo.n)[:, :] = pattern
+        mem.write_word(lay.pool_ctr_addr, 0)
+
+    def allocated(self, mem: GlobalMemory) -> int:
+        """Host-side view of how many chunks have been handed out."""
+        return mem.read_word(self.layout.pool_ctr_addr)
+
+    def set_allocated(self, mem: GlobalMemory, n: int) -> None:
+        """Host-side bump (used by the vectorized bulk builder)."""
+        if n > self.layout.capacity_chunks:
+            raise OutOfChunks(f"bulk build needs {n} chunks, pool has "
+                              f"{self.layout.capacity_chunks}")
+        mem.write_word(self.layout.pool_ctr_addr, n)
+
+    # -- device-side ---------------------------------------------------
+    def alloc(self):
+        """Device allocation: atomic bump; returns the new chunk pointer.
+
+        The returned chunk is already in the allocation-time state
+        (locked, all-∞) thanks to :meth:`format`.
+        """
+        idx = yield ev.AtomicAdd(self.layout.pool_ctr_addr, 1)
+        if idx >= self.layout.capacity_chunks:
+            raise OutOfChunks(
+                f"chunk pool exhausted ({self.layout.capacity_chunks} chunks)")
+        return idx

@@ -1,0 +1,100 @@
+"""Team-cooperative decision functions (Algorithms 4.3 and friends).
+
+Every function here is *pure* warp math: it takes the team's snapshot of
+a chunk (the per-lane registers after a coalesced read) and combines the
+lanes' votes with ballot/shfl exactly as the paper specifies.  The
+precedence rule — take the **highest** tId that voted true, with the
+NEXT thread outranking all DATA threads and the LOCK thread always
+voting false — is what makes concurrent traversals safe while inserts
+and deletes shift entries (Sections 4.2.2, 4.2.3).
+
+Memory access never happens here; the traversal/update generators own
+that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu import intrinsics as intr
+from . import constants as C
+from .chunk import ChunkGeometry, keys_vec, vals_vec
+
+
+def tid_for_next_step(k: int, kvs: np.ndarray, geo: ChunkGeometry) -> int:
+    """Algorithm 4.3 ``getTidForNextStep``.
+
+    DATA lane *i* votes true iff its key ≤ k (an EMPTY key, being the
+    largest encodable value, always votes false for user keys); the NEXT
+    lane votes true iff the chunk max < k (lateral step needed); LOCK
+    votes false.  Returns the highest true lane, ``geo.next_idx`` for a
+    lateral step, or ``NONE_TID`` for a backtrack.
+    """
+    keys = keys_vec(kvs)
+    flags = np.zeros(geo.n, dtype=bool)
+    flags[: geo.dsize] = keys[: geo.dsize] <= k
+    flags[geo.next_idx] = keys[geo.next_idx] < k
+    bal = intr.ballot(flags)
+    return intr.highest_set_lane(bal) if bal else C.NONE_TID
+
+
+def tid_with_equal_key(k: int, kvs: np.ndarray, geo: ChunkGeometry) -> int:
+    """``isTidWithEqualKey`` used by the bottom-level lateral search
+    (Algorithm 4.4): DATA lanes vote on equality, NEXT still votes for
+    the lateral step, precedence to higher lanes."""
+    keys = keys_vec(kvs)
+    flags = np.zeros(geo.n, dtype=bool)
+    flags[: geo.dsize] = keys[: geo.dsize] == k
+    flags[geo.next_idx] = keys[geo.next_idx] < k
+    bal = intr.ballot(flags)
+    return intr.highest_set_lane(bal) if bal else C.NONE_TID
+
+
+def tid_of_down_step(k: int, kvs: np.ndarray, geo: ChunkGeometry) -> int:
+    """Backtrack helper (``getTidOfDownStep``): the highest DATA lane
+    whose key ≤ k; NEXT is not eligible (we already know max < k)."""
+    keys = keys_vec(kvs)
+    flags = np.zeros(geo.n, dtype=bool)
+    flags[: geo.dsize] = keys[: geo.dsize] <= k
+    bal = intr.ballot(flags)
+    return intr.highest_set_lane(bal) if bal else C.NONE_TID
+
+
+def ptr_from_tid(tid: int, kvs: np.ndarray) -> int:
+    """``getPtrFromTid``: shfl the value field (down pointer / next
+    pointer) out of lane ``tid``."""
+    return intr.shfl(vals_vec(kvs), tid)
+
+
+def chunk_contains(k: int, kvs: np.ndarray, geo: ChunkGeometry) -> bool:
+    """Ballot over DATA equality — used after locking (Algorithm 4.5)."""
+    keys = keys_vec(kvs)
+    return intr.ballot(keys[: geo.dsize] == k) != 0
+
+
+def insertion_idx(k: int, kvs: np.ndarray, geo: ChunkGeometry) -> int:
+    """``getInsertionIdx``: the lowest DATA lane whose key > k — where k
+    belongs in the sorted data array (EMPTY keys compare greater than
+    every user key, so an empty slot is a valid landing spot)."""
+    keys = keys_vec(kvs)
+    bal = intr.ballot(keys[: geo.dsize] > k)
+    lane = intr.lowest_set_lane(bal)
+    if lane < 0:
+        raise AssertionError("insertion into a chunk with no room — caller "
+                             "must split first")
+    return lane
+
+
+def index_of_key(k: int, kvs: np.ndarray, geo: ChunkGeometry) -> int:
+    """Lane holding key ``k`` (highest, per the precedence rule), or
+    ``NONE_TID``."""
+    keys = keys_vec(kvs)
+    bal = intr.ballot(keys[: geo.dsize] == k)
+    return intr.highest_set_lane(bal) if bal else C.NONE_TID
+
+
+def chunk_not_enclosing(k: int, kvs: np.ndarray, geo: ChunkGeometry) -> bool:
+    """A chunk encloses k iff it is non-zombie with max ≥ k
+    (Section 4.1, "Enclosing Chunks")."""
+    from .chunk import is_zombie, max_field
+    return is_zombie(kvs, geo) or max_field(kvs, geo) < k

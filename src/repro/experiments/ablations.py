@@ -1,0 +1,191 @@
+"""Section 5.2's static-configuration studies and extra ablations.
+
+* :func:`p_chunk_sweep` — GFSL's raise probability (paper: ≈1 is best in
+  every mixture, because lowering it lengthens lateral walks without
+  shrinking the height much),
+* :func:`p_key_sweep` — M&C's tower probability (paper: 0.5 is best),
+* :func:`chunk_size_sweep` — GFSL team/chunk size 16 vs 32 (Figure 5.1
+  context),
+* :func:`l2_sensitivity` — not in the paper: vary the simulated L2 to
+  show the crossover range tracks the cache capacity (the paper's causal
+  explanation for Figure 5.2's shape),
+* :func:`sequential_vs_interleaved` — not in the paper: how much of
+  M&C's melt-down the interleaved replay (cache thrashing between
+  concurrent op streams) accounts for,
+* :func:`restart_rate` — verifies the <0.01% Contains-restart claim at
+  simulation scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import GFSL, suggest_capacity
+from ..gpu import DeviceConfig
+from ..workloads import MIX_10_10_80, generate, run_workload
+from .harness import Scale, current_scale, run_point
+
+
+@dataclass
+class SweepPoint:
+    parameter: float
+    mops: float
+
+
+def p_chunk_sweep(values=(0.25, 0.5, 0.75, 1.0), key_range: int = 300_000,
+                  scale: Scale | None = None) -> list[SweepPoint]:
+    scale = scale or current_scale()
+    key_range = min(key_range, max(scale.ranges))
+    out = []
+    for p in values:
+        pt = run_point("gfsl", MIX_10_10_80, key_range, scale=scale,
+                       p_chunk=p, repeats=1)
+        out.append(SweepPoint(p, pt.mean_mops))
+    return out
+
+
+def p_key_sweep(values=(0.2, 0.35, 0.5, 0.65, 0.8),
+                key_range: int = 300_000,
+                scale: Scale | None = None) -> list[SweepPoint]:
+    scale = scale or current_scale()
+    key_range = min(key_range, max(scale.ranges))
+    out = []
+    for p in values:
+        pt = run_point("mc", MIX_10_10_80, key_range, scale=scale,
+                       p_key=p, repeats=1)
+        out.append(SweepPoint(p, pt.mean_mops))
+    return out
+
+
+def chunk_size_sweep(sizes=(16, 32), key_range: int = 1_000_000,
+                     scale: Scale | None = None) -> list[SweepPoint]:
+    scale = scale or current_scale()
+    key_range = min(key_range, max(scale.ranges))
+    out = []
+    for ts in sizes:
+        pt = run_point("gfsl", MIX_10_10_80, key_range, scale=scale,
+                       team_size=ts, repeats=1)
+        out.append(SweepPoint(ts, pt.mean_mops))
+    return out
+
+
+def l2_sensitivity(l2_sizes_mb=(0.5, 1.75, 8.0), key_range: int = 300_000,
+                   scale: Scale | None = None) -> list[dict]:
+    """GFSL/M&C ratio as a function of L2 capacity: a bigger cache moves
+    the crossover right, a smaller one moves it left — evidence for the
+    paper's explanation that coalescing pays off exactly when the
+    structure stops fitting in L2."""
+    scale = scale or current_scale()
+    key_range = min(key_range, max(scale.ranges))
+    out = []
+    for mb in l2_sizes_mb:
+        device = DeviceConfig.gtx970().with_l2(int(mb * 1024 * 1024))
+        w = generate(MIX_10_10_80, key_range=key_range, n_ops=scale.n_ops,
+                     seed=5)
+        g = run_workload("gfsl", w, device=device)
+        m = run_workload("mc", w, device=device)
+        out.append(dict(l2_mb=mb, gfsl_mops=g.mops, mc_mops=m.mops,
+                        ratio=g.mops / m.mops,
+                        gfsl_hit=g.l2_hit_rate, mc_hit=m.l2_hit_rate))
+    return out
+
+
+def sequential_vs_interleaved(key_range: int = 1_000_000,
+                              scale: Scale | None = None) -> dict:
+    """Replay the same M&C workload with one op in flight vs. the full
+    interleave, isolating the thrashing contribution to the trace."""
+    from ..baseline import MC_KERNEL
+    from ..gpu import LaunchConfig
+    from ..workloads.runner import _op_gens, build_mc
+    scale = scale or current_scale()
+    key_range = min(key_range, max(scale.ranges))
+    w = generate(MIX_10_10_80, key_range=key_range, n_ops=scale.n_ops,
+                 seed=9)
+    out = {}
+    for label, conc in (("sequential", 1), ("interleaved", None)):
+        mc = build_mc(w)
+        res = mc.ctx.launch(_op_gens(mc, w), LaunchConfig(), MC_KERNEL,
+                            concurrency=conc)
+        out[label] = dict(mops=res.timing.mops,
+                          l2_hit=res.stats.l2_hit_rate,
+                          dram_per_op=res.stats.dram_transactions / w.n_ops)
+    return out
+
+
+def warp_lockstep_mc(key_range: int = 300_000,
+                     scale: Scale | None = None) -> dict:
+    """Not in the paper: re-run M&C under full warp-lockstep accounting
+    (32 lanes advancing together, loads coalesced *across* the warp).
+
+    Quantifies how much intra-warp coalescing a thread-per-op design
+    gets for free — the shared head-tower reads fold into single
+    transactions — versus the per-op accounting the benchmarks use.
+    The residual gap to GFSL is the paper's point: per-lane pointer
+    chasing stays scattered below the shared tower top.
+    """
+    from ..gpu.warp import run_in_warps
+    from ..workloads.runner import build_mc
+    scale = scale or current_scale()
+    key_range = min(key_range, max(scale.ranges))
+    w = generate(MIX_10_10_80, key_range=key_range, n_ops=scale.n_ops,
+                 seed=17)
+    out = {}
+
+    mc = build_mc(w)
+    mc.ctx.tracer.reset_stats()
+    gens = []
+    from ..workloads.generator import Op
+    for op, key in zip(w.ops, w.keys):
+        k = int(key)
+        gens.append(mc.contains_gen(k) if op == Op.CONTAINS
+                    else mc.insert_gen(k) if op == Op.INSERT
+                    else mc.delete_gen(k))
+    _, wstats = run_in_warps(gens, mc.ctx.mem, mc.ctx.tracer)
+    t = mc.ctx.tracer.stats
+    out["lockstep"] = dict(
+        transactions_per_op=t.transactions / w.n_ops,
+        coalesced_lane_requests_per_op=wstats.coalesced_lane_requests
+        / w.n_ops,
+        divergence_ratio=wstats.divergence_ratio)
+
+    mc2 = build_mc(w)
+    mc2.ctx.tracer.reset_stats()
+    from ..workloads.runner import _op_gens
+    for make in _op_gens(mc2, w):
+        mc2.ctx.run(make())
+    t2 = mc2.ctx.tracer.stats
+    out["per-op"] = dict(transactions_per_op=t2.transactions / w.n_ops,
+                         coalesced_lane_requests_per_op=0.0,
+                         divergence_ratio=0.0)
+    return out
+
+
+def restart_rate(key_range: int = 100_000, n_ops: int = 4000,
+                 seed: int = 3) -> dict:
+    """Drive a concurrent mixed batch and measure the Contains-restart
+    frequency (§4.2.1 claims < 0.01% on hardware; interleaved simulation
+    is far more adversarial per operation, so the bar here is 'rare')."""
+    from ..core import bulk_build_into
+    rng = np.random.default_rng(seed)
+    prefill = rng.choice(np.arange(1, key_range + 1), size=key_range // 2,
+                         replace=False)
+    sl = GFSL(capacity_chunks=suggest_capacity(key_range), seed=seed)
+    bulk_build_into(sl, [(int(k), 0) for k in prefill], rng=sl.rng)
+    gens = []
+    keys = rng.integers(1, key_range + 1, size=n_ops)
+    kinds = rng.random(n_ops)
+    for k, u in zip(keys, kinds):
+        k = int(k)
+        if u < 0.4:
+            gens.append(sl.contains_gen(k))
+        elif u < 0.7:
+            gens.append(sl.insert_gen(k))
+        else:
+            gens.append(sl.delete_gen(k))
+    sl.ctx.run_concurrent(gens, seed=seed)
+    contains_ops = max(1, sl.op_stats.contains_calls)
+    return dict(contains_ops=contains_ops,
+                restarts=sl.op_stats.contains_restarts,
+                rate=sl.op_stats.contains_restarts / contains_ops)

@@ -1,0 +1,112 @@
+"""Shared experiment machinery: scaling presets, repeated runs, series.
+
+Every table/figure module builds on :func:`run_point` (repeat a
+workload with different op-stream seeds, summarize) and
+:func:`run_range_series` (one curve of a figure).  The scale preset
+trades fidelity for wall-clock time:
+
+* ``smoke``  — tiny ranges/op counts, used by the test suite,
+* ``quick``  — the default for ``pytest benchmarks/``: every paper range
+  up to 3M, modest op counts,
+* ``paper``  — full ranges to 10M (and 100M for the GFSL-only sweep),
+  more ops and repetitions; hours of simulation.
+
+Select via the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..analysis.stats import Summary, summarize
+from ..workloads import Mixture, generate, run_workload
+from . import paper_data
+
+
+@dataclass(frozen=True)
+class Scale:
+    name: str
+    ranges: tuple[int, ...]
+    n_ops: int
+    repeats: int
+
+    def ops_for(self, mixture: Mixture, key_range: int) -> int:
+        # Single-op-type tests use one op per key in the paper ("the
+        # number of operations ... is equal to the key range"); keep that
+        # proportionality capped by the scale's budget.
+        if mixture.kind != "mixed":
+            return min(self.n_ops, key_range)
+        return self.n_ops
+
+
+SCALES = {
+    "smoke": Scale("smoke", (10_000, 100_000), 300, 1),
+    "quick": Scale("quick", (10_000, 30_000, 100_000, 300_000, 1_000_000,
+                             3_000_000), 800, 2),
+    "paper": Scale("paper", paper_data.PAPER_RANGES, 2000, 3),
+}
+
+
+def current_scale() -> Scale:
+    return SCALES[os.environ.get("REPRO_SCALE", "quick")]
+
+
+@dataclass
+class Point:
+    """One (structure, mixture, range) cell, summarized over repeats."""
+
+    structure: str
+    key_range: int
+    mixture_name: str
+    mops: Summary
+    l2_hit_rate: float
+    transactions_per_op: float
+    bottleneck: str
+    oom: bool = False
+
+    @property
+    def mean_mops(self) -> float:
+        return self.mops.mean
+
+
+def run_point(structure_kind: str, mixture: Mixture, key_range: int,
+              scale: Scale | None = None, team_size: int = 32,
+              p_chunk: float = 1.0, p_key: float = 0.5,
+              launch=None, n_ops: int | None = None,
+              repeats: int | None = None) -> Point:
+    """Run ``repeats`` workloads (distinct op-stream seeds) and summarize."""
+    scale = scale or current_scale()
+    n = n_ops if n_ops is not None else scale.ops_for(mixture, key_range)
+    reps = repeats if repeats is not None else scale.repeats
+    mops_vals = []
+    last = None
+    for rep in range(reps):
+        w = generate(mixture, key_range=key_range, n_ops=n, seed=1000 + rep)
+        r = run_workload(structure_kind, w, team_size=team_size,
+                         p_chunk=p_chunk, p_key=p_key, launch=launch,
+                         seed=rep)
+        if r.oom:
+            return Point(structure=r.structure, key_range=key_range,
+                         mixture_name=mixture.name,
+                         mops=summarize([float("nan")]),
+                         l2_hit_rate=float("nan"),
+                         transactions_per_op=float("nan"),
+                         bottleneck="oom", oom=True)
+        mops_vals.append(r.mops)
+        last = r
+    return Point(structure=last.structure, key_range=key_range,
+                 mixture_name=mixture.name, mops=summarize(mops_vals),
+                 l2_hit_rate=last.l2_hit_rate,
+                 transactions_per_op=last.transactions_per_op,
+                 bottleneck=last.bottleneck)
+
+
+def run_range_series(structure_kind: str, mixture: Mixture,
+                     scale: Scale | None = None, ranges=None,
+                     **kw) -> list[Point]:
+    """One figure line: a point per key range."""
+    scale = scale or current_scale()
+    ranges = ranges if ranges is not None else scale.ranges
+    return [run_point(structure_kind, mixture, r, scale=scale, **kw)
+            for r in ranges]

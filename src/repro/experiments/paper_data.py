@@ -1,0 +1,103 @@
+"""Published numbers from Chapter 5 of the thesis, for side-by-side
+reporting and claim checking.
+
+Tables 5.1/5.2 are transcribed verbatim.  The figures are published only
+as plots; the values here are the data points the text states explicitly
+plus the qualitative *claims* every reproduction must test (who wins
+where, by roughly what factor, where the crossover falls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# --- Table 5.1: effects on GFSL of limiting warps launched per block ----
+# columns: occupancy %, theoretical occupancy %, registers, active
+# blocks, local-memory spillover %, throughput (MOPS) at [10,10,80] 1M.
+TABLE_5_1 = {
+    8: dict(occupancy=36.7, theoretical=37.5, registers=79, blocks=3,
+            spill_pct=0.0, mops=58.9),
+    16: dict(occupancy=48.8, theoretical=50.0, registers=64, blocks=2,
+             spill_pct=10.0, mops=65.7),
+    24: dict(occupancy=73.0, theoretical=75.0, registers=40, blocks=2,
+             spill_pct=43.0, mops=62.5),
+    32: dict(occupancy=95.8, theoretical=100.0, registers=32, blocks=2,
+             spill_pct=53.0, mops=52.9),
+}
+
+# --- Table 5.2: same grid for M&C ---------------------------------------
+TABLE_5_2 = {
+    8: dict(occupancy=52.9, theoretical=62.5, registers=42, blocks=5,
+            spill_pct=25.0, mops=20.7),
+    16: dict(occupancy=41.6, theoretical=50.0, registers=42, blocks=2,
+             spill_pct=23.0, mops=21.3),
+    24: dict(occupancy=59.0, theoretical=75.0, registers=40, blocks=2,
+             spill_pct=23.0, mops=20.6),
+    32: dict(occupancy=79.4, theoretical=100.0, registers=32, blocks=2,
+             spill_pct=24.0, mops=20.2),
+}
+
+# --- Key ranges of the evaluation ----------------------------------------
+PAPER_RANGES = (10_000, 30_000, 100_000, 300_000, 1_000_000,
+                3_000_000, 10_000_000)
+PAPER_RANGES_EXTENDED = PAPER_RANGES + (30_000_000, 100_000_000)
+
+# --- Values the text states explicitly -----------------------------------
+# Section 5.3 / Table 5.1 footnote: [10,10,80] at 1M.
+GFSL32_1M_10_10_80_MOPS = 65.7
+MC_1M_10_10_80_MOPS = 21.3
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One falsifiable statement from the evaluation narrative."""
+
+    claim_id: str
+    source: str
+    text: str
+
+
+CLAIMS = [
+    Claim("ratio-10k", "§5.3 / Fig 5.2",
+          "GFSL is slower than M&C by up to 46% in the 10K range"),
+    Claim("ratio-30k", "§5.3 / Fig 5.2",
+          "GFSL is within ~10% of M&C in the 30K range"),
+    Claim("ratio-large", "§5.3 / Fig 5.2",
+          "GFSL outperforms M&C by 27% to 1064% in the higher ranges"),
+    Claim("ratio-10m", "§1 / Abstract",
+          "In a range of 10M keys GFSL offers a speedup of 6.8x-11.6x"),
+    Claim("gfsl-flat", "§5.3",
+          "1M→10M: M&C loses 69–75% of its throughput in mixed tests "
+          "while GFSL loses at most ~8%"),
+    Claim("updates-flip-10k", "§5.3",
+          "At 10K, M&C is faster when Contains dominates but ~8% slower "
+          "at [20,20,60]"),
+    Claim("dip", "§5.3",
+          "GFSL shows a contention dip at small key ranges in mixed "
+          "workloads; no dip in the Contains-only test"),
+    Claim("contains-speedup", "§5.3 / Fig 5.4a",
+          "Contains-only: GFSL up to 4.4x faster at large ranges, up to "
+          "2.9x at low ranges"),
+    Claim("insert-speedup", "§5.3 / Fig 5.4b",
+          "Insert-only: GFSL 3.5x–9.1x faster in all ranges"),
+    Claim("delete-speedup", "§5.3 / Fig 5.4c",
+          "Delete-only: GFSL 3.5x–12.6x faster in all ranges"),
+    Claim("mc-oom", "§5.3",
+          "M&C runs out of memory above the 10M range (mixed) and the 3M "
+          "range (single-op); GFSL runs up to 100M"),
+    Claim("warps-16-best", "Table 5.1",
+          "GFSL throughput peaks at 16 warps per block"),
+    Claim("mc-warps-flat", "Table 5.2",
+          "M&C throughput varies very little with warps per block"),
+    Claim("gfsl32-beats-16", "§5.2 / Fig 5.1",
+          "GFSL-32 outperforms GFSL-16 by up to 28% in the higher ranges; "
+          "similar performance in small ranges"),
+    Claim("pchunk-1-best", "§5.2",
+          "p_chunk ≈ 1 gives the best GFSL results in all mixtures"),
+    Claim("pkey-half-best", "§5.2",
+          "p_key = 0.5 gives the best M&C results"),
+    Claim("restarts-rare", "§4.2.1",
+          "Contains restarts occur in less than 0.01% of operations"),
+]
+
+CLAIMS_BY_ID = {c.claim_id: c for c in CLAIMS}

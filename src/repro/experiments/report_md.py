@@ -1,0 +1,182 @@
+"""Assemble EXPERIMENTS.md from benchmark results.
+
+``pytest benchmarks/`` writes each table/figure's measured rows to
+``benchmarks/results/``; this module stitches them together with the
+paper's published values and the deviation notes into the reproduction
+record.  Regenerate with::
+
+    python -m repro.experiments.report_md [results_dir] [output_md]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from . import paper_data
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Reproduction record for every table and figure in Chapter 5 of the
+thesis (the full version of the PPoPP'17 poster).  Measured values come
+from the simulated GTX 970 (see DESIGN.md §2 for the hardware
+substitution); regenerate them with::
+
+    REPRO_SCALE=quick pytest benchmarks/ --benchmark-only
+    python -m repro.experiments.report_md
+
+Absolute throughput is calibrated (the cost model's constants were fit
+to Tables 5.1/5.2's anchor values), so the comparison targets *shape*:
+who wins, where crossovers fall, and rough factors.  Each section lists
+the paper's claim and the measured outcome.
+"""
+
+SECTIONS = [
+    ("table_5_1", "Table 5.1 — GFSL: warps per block",
+     "Paper: 58.9 / **65.7** / 62.5 / 52.9 MOPS for 8/16/24/32 warps per "
+     "block — the optimum at 16 balances latency-hiding occupancy "
+     "against register spillover (79→64→40→32 allocated registers, "
+     "0%→10%→43%→53% spill traffic).\n\n"
+     "Measured: register/block columns reproduce exactly from the "
+     "occupancy model; the throughput optimum lands at 16 warps with "
+     "the 32-warp row ~15% below it.  The 24-warp row degrades slightly "
+     "more than the paper's (our spill-cost model is linear in the "
+     "register deficit)."),
+    ("table_5_2", "Table 5.2 — M&C: warps per block",
+     "Paper: 20.7 / 21.3 / 20.6 / 20.2 MOPS — \"throughput varies very "
+     "little\" because M&C is memory-access-bound, with ~23-25% local "
+     "spill traffic (thread-local path arrays) at every shape.\n\n"
+     "Measured: flat across the grid (< 15% spread), ~23% intrinsic "
+     "spill at every row, achieved occupancy well below theoretical."),
+    ("fig_5_1", "Figure 5.1 — GFSL-16 vs GFSL-32 vs M&C",
+     "Paper: the two chunk sizes are similar at small ranges; GFSL-32 "
+     "outperforms GFSL-16 by up to 28% at high ranges (cause unknown to "
+     "the authors; they suspect sub-warp team overheads).\n\n"
+     "Measured: similar at 10K, GFSL-32 ahead by ~25-35% at 100K+.  We "
+     "model the sub-warp penalty as mask-management overhead on every "
+     "cooperative op; the paper's 'similar at small / diverging at "
+     "large' gradient is only partially reproduced (our gap opens "
+     "earlier)."),
+    ("fig_5_2", "Figure 5.2 — GFSL/M&C speedup ratio",
+     "Paper: GFSL slower by up to 46% at 10K, within ~10% at 30K, ahead "
+     "by 27%-1064% above; 6.8x-11.6x at 10M.\n\n"
+     "Measured: M&C ahead at 10K in the contains-heavy mixtures (ratios "
+     "0.85-0.96) while the update-heavy [20,20,60] already favours GFSL "
+     "(1.28, paper: +8%); crossover between 30K and 100K (paper: just "
+     "above 30K); ratios rise monotonically to ~5.3x at 3M and ~8.4x at "
+     "10M (paper scale), inside the paper's 6.8-11.6 band."),
+    ("fig_5_3", "Figure 5.3 — mixed workloads across ranges",
+     "Paper: GFSL nearly flat as the range grows (≤8% loss 1M→10M) with "
+     "a contention dip at small ranges that deepens/moves with the "
+     "update share; M&C melts down (-69-75% from 1M→10M).\n\n"
+     "Measured: GFSL flat within a few percent beyond 100K with the "
+     "small-range dip scaling with update fraction; M&C loses ~55-60% "
+     "from 1M to 10M (somewhat shallower than the paper's 69-75%: our "
+     "TLB/scatter model is conservative)."),
+    ("fig_5_4", "Figure 5.4 — single-operation workloads",
+     "Paper: GFSL ahead everywhere — Contains up to 4.4x (large) / "
+     "2.9x (small), Insert 3.5x-9.1x, Delete 3.5x-12.6x; M&C OOMs above "
+     "3M.\n\n"
+     "Measured: Contains 1.4x-7x rising with range; Delete 2.3x-10.6x; "
+     "Insert 2.2x-3.7x (below the paper's 3.5x floor — our M&C insert "
+     "is cheaper than theirs at small ranges because the simulator "
+     "charges no allocation-failure retries).  M&C single-op points "
+     "above 3M report OOM, as in the paper.  Note the insert-only "
+     "sampling substitution recorded in DESIGN.md §2 (growth-midpoint "
+     "prefill)."),
+    ("ablation_p_chunk", "§5.2 — p_chunk sweep (GFSL)",
+     "Paper: p_chunk ≈ 1 best in all mixtures.  Measured: agrees; lower "
+     "values lengthen lateral walks without shrinking height."),
+    ("ablation_p_key", "§5.2 — p_key sweep (M&C)",
+     "Paper: p_key = 0.5 best.  Measured: 0.5 at/near the optimum of "
+     "the sweep."),
+    ("ablation_chunk_size", "§5.2 — chunk/team size",
+     "Measured: GFSL-32 ≥ GFSL-16 at the 1M range (see Figure 5.1)."),
+    ("ablation_l2", "Extra ablation — L2 capacity sensitivity",
+     "Not in the paper: growing the simulated L2 lifts M&C's hit rate "
+     "and narrows GFSL's advantage, direct evidence for the paper's "
+     "causal explanation of the range-dependent crossover."),
+    ("ablation_replay_mode", "Extra ablation — replay mode",
+     "Sequential vs interleaved replay of the same M&C workload: "
+     "interleaving concurrent op streams lowers the L2 hit rate "
+     "(cache thrashing between streams)."),
+    ("ablation_warp_lockstep", "Extra ablation — warp-lockstep M&C",
+     "Full SIMT lockstep accounting coalesces M&C's shared head-tower "
+     "reads (halving transactions/op) but the per-lane pointer chases "
+     "below the tower top stay scattered — still several times GFSL's "
+     "transaction budget."),
+    ("ablation_key_skew", "Extra ablation — Zipfian key skew",
+     "Not in the paper (uniform keys only): skewed traffic improves "
+     "cache behaviour for both structures; hot-key updates press on "
+     "GFSL's chunk-granularity locks sooner than on M&C's per-node CAS."),
+    ("ablation_merge_threshold", "Extra ablation — merge threshold",
+     "The paper fixes the underfull bound at DSIZE/3.  Sweeping the "
+     "divisor shows the trade: eager merging (divisor 2) roughly "
+     "doubles merges/zombies but keeps chunks full; lazy merging "
+     "(divisor 5) tolerates sparse chunks and doubles the live chunk "
+     "count after heavy deletion."),
+    ("restart_rate", "§4.2.1 — Contains restart rate",
+     "Paper: restarts in <0.01% of Contains.  Measured: rare (0 in "
+     "typical interleaved runs) — the triggering race needs a down-step "
+     "key deleted from both levels mid-traversal."),
+    ("memory_wall", "§5.3 — the memory wall",
+     "Paper: M&C exhausts device memory above the 10M (mixed) / 3M "
+     "(single-op) ranges; GFSL's compact chunks run to 100M.  Measured: "
+     "the allocation arithmetic reproduces both boundaries; GFSL's "
+     "100M-key footprint is ~1.4 GiB of the 4 GiB device."),
+    ("claims", "Claim scorecard",
+     "Every falsifiable statement of the evaluation narrative, checked "
+     "against this run's series (claims tied to specific tables/figures "
+     "are asserted inside their benches)."),
+    ("micro_device_cost", "Per-operation device cost",
+     "The mechanism behind everything above: a GFSL op costs ~a dozen "
+     "coalesced transactions; an M&C op costs >100 scattered ones."),
+]
+
+FOOTER = """## Known deviations
+
+* **Absolute MOPS are calibrated, not measured** — constants were fit
+  to the Table 5.1/5.2 anchors; treat all absolute numbers as
+  model-relative.
+* **M&C's 1M→10M decay** is ~55-60% vs the paper's 69-75%; our
+  TLB/scattered-DRAM penalties are conservative.
+* **GFSL-16 vs GFSL-32**: the paper could not explain the 28% gap; we
+  model it as sub-warp mask overhead, which opens the gap at mid ranges
+  earlier than Figure 5.1 shows.
+* **Insert-only sampling**: scaled samples start from a half-full
+  structure (growth midpoint) rather than empty — sampling the paper's
+  10M-insert run at its start would measure only the initial
+  single-chunk contention burst (DESIGN.md §2).
+* **Contains-only instability**: the paper reports unstable M&C numbers
+  (50% CIs) at small ranges and "was unable to determine the cause";
+  the simulator is deterministic and shows no instability.
+"""
+
+
+def build(results_dir: pathlib.Path) -> str:
+    parts = [HEADER]
+    for name, title, commentary in SECTIONS:
+        parts.append(f"\n## {title}\n")
+        parts.append(commentary + "\n")
+        f = results_dir / f"{name}.txt"
+        if f.exists():
+            parts.append("```\n" + f.read_text().strip() + "\n```\n")
+        else:
+            parts.append("*(no measured rows found — run "
+                         "`pytest benchmarks/ --benchmark-only`)*\n")
+    parts.append("\n" + FOOTER)
+    return "\n".join(parts)
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    root = pathlib.Path(__file__).resolve().parents[3]
+    results = pathlib.Path(argv[0]) if argv else root / "benchmarks/results"
+    out = pathlib.Path(argv[1]) if len(argv) > 1 else root / "EXPERIMENTS.md"
+    out.write_text(build(results))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""Device configuration for the simulated GPU.
+
+The simulator is parameterized by a :class:`DeviceConfig` describing the
+hardware the paper measured on (a GM204 GeForce GTX 970, Maxwell) plus the
+cost-model constants used by :mod:`repro.gpu.timing`.  The preset
+:meth:`DeviceConfig.gtx970` mirrors the numbers in Section 5.1 of the
+thesis; the cost constants are calibrated so that the simulated throughput
+lands in the same regime as Table 5.1 / 5.2 (tens of MOPS for GFSL at a
+1M-key range, ~20 MOPS for M&C), but the reproduction targets *shape*,
+not absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Static description of the simulated GPU.
+
+    Attributes mirror the CUDA occupancy model: a device has ``num_sms``
+    streaming multiprocessors, each with a register file of
+    ``registers_per_sm`` 32-bit registers, room for ``max_warps_per_sm``
+    resident warps and ``max_blocks_per_sm`` resident blocks.  Global
+    memory traffic is served through an L2 cache of ``l2_bytes`` with
+    ``line_bytes`` cache lines.
+    """
+
+    name: str = "sim-gpu"
+    num_sms: int = 13
+    warp_size: int = 32
+    max_warps_per_sm: int = 64
+    max_blocks_per_sm: int = 32
+    registers_per_sm: int = 65536
+    max_registers_per_thread: int = 255
+    register_alloc_granularity: int = 8
+    shared_mem_per_sm: int = 96 * 1024
+    l2_bytes: int = int(1.75 * 1024 * 1024)
+    l2_assoc: int = 16
+    line_bytes: int = 128
+    device_memory_bytes: int = 4 * 1024 * 1024 * 1024
+    core_clock_mhz: float = 1050.0
+    memory_clock_mhz: float = 1750.0
+
+    # Maximum outstanding memory transactions one SM can track (MSHR /
+    # load-store-unit limit) — caps how much latency the warp scheduler
+    # can actually hide, the reason a thread-per-op design cannot turn
+    # 1024 resident threads into 1024-way memory parallelism.
+    mshr_per_sm: int = 48
+    # Address translation: pages covered by the TLB; structures whose hot
+    # set exceeds entries*page add page-walk cost to scattered accesses.
+    tlb_page_bytes: int = 64 * 1024
+    tlb_entries: int = 512
+
+    # --- cost model constants (cycles) -------------------------------
+    # Latency of a global transaction that misses in L2 (DRAM round trip)
+    dram_latency: float = 500.0
+    # Latency of a transaction served by L2
+    l2_latency: float = 60.0
+    # Per-SM service (bandwidth) cost of moving one cache line from DRAM
+    dram_line_service: float = 8.0
+    # Per-SM service cost of a *scattered* (uncoalesced single-word)
+    # DRAM transaction: random row activations waste most of the burst
+    # bandwidth, so one useful word costs several lines' worth of time.
+    dram_scattered_service: float = 40.0
+    # Dependent-latency cost of a TLB miss (page-table walk), and its
+    # bandwidth cost (the walk's own memory reads, mostly cached).
+    tlb_miss_latency: float = 250.0
+    tlb_miss_service: float = 20.0
+    # Per-SM service cost of moving one cache line from L2
+    l2_line_service: float = 2.0
+    # Per-SM service cost of a scattered single-word L2 hit (one 32B
+    # sector, a quarter line)
+    l2_scattered_service: float = 0.5
+    # Issue cost of one warp-wide instruction
+    issue_cost: float = 1.0
+    # Extra serialization cost per conflicting atomic in a warp
+    atomic_serialization: float = 12.0
+    # Local-memory (spill) traffic behaves like L2-resident traffic but
+    # adds both service and latency cost per spilled access.
+    spill_access_cost: float = 40.0
+    # Issue slots each spill access steals (the replayed ld/st pair and
+    # its address math) — how register pressure turns into lost
+    # throughput at 24/32 warps per block (Table 5.1).
+    spill_issue_cost: float = 3.0
+    # Below ~50% occupancy the scheduler lacks eligible warps to cover
+    # even ALU latency; issue throughput degrades by (occ/0.5)^exp
+    # (Table 5.1's 8-warps-per-block row).
+    issue_efficiency_knee: float = 0.5
+    issue_efficiency_exp: float = 0.35
+
+    @staticmethod
+    def gtx970() -> "DeviceConfig":
+        """The configuration used throughout Chapter 5 of the thesis."""
+        return DeviceConfig(name="GeForce GTX 970 (sim)")
+
+    def with_l2(self, l2_bytes: int) -> "DeviceConfig":
+        """Return a copy with a different L2 capacity (for ablations)."""
+        return replace(self, l2_bytes=l2_bytes)
+
+    @property
+    def max_threads_per_sm(self) -> int:
+        return self.max_warps_per_sm * self.warp_size
+
+    def lines_for(self, byte_span: int) -> int:
+        """Number of cache lines covering ``byte_span`` contiguous bytes
+        starting at a line-aligned address."""
+        return -(-byte_span // self.line_bytes)
+
+
+@dataclass
+class LaunchConfig:
+    """A kernel launch shape: how many blocks, of how many warps each.
+
+    ``warps_per_block`` is the knob studied in Tables 5.1/5.2.  The
+    register demand of the kernel (``regs_demanded``) together with the
+    launch shape determines occupancy and spillover via
+    :mod:`repro.gpu.occupancy`.
+    """
+
+    blocks: int = 26
+    warps_per_block: int = 16
+    regs_demanded: int = 64
+    team_size: int = 32
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.warps_per_block * 32
+
+    @property
+    def total_warps(self) -> int:
+        return self.blocks * self.warps_per_block
+
+    @property
+    def teams_per_warp(self) -> int:
+        # The paper runs a single team per warp regardless of team size
+        # (Section 5.2, "Chunk Size"); multiple teams per warp is future
+        # work, modeled only in the ablation harness.
+        return 1
+
+    @property
+    def total_teams(self) -> int:
+        return self.total_warps * self.teams_per_warp

@@ -1,0 +1,120 @@
+"""Event vocabulary of simulated kernels.
+
+Simulated device functions are Python generators.  Whenever they touch
+global memory (or burn ALU cycles) they ``yield`` one of the event
+objects below; the trampoline (:mod:`repro.gpu.scheduler`) performs the
+access against :class:`~repro.gpu.memory.GlobalMemory`, feeds the tracer,
+and ``send``s the result back into the generator.
+
+This factoring gives us two execution modes from one codebase:
+
+* *sequential* — each operation's generator is drained to completion
+  (fast; used for throughput experiments), and
+* *concurrent* — many team generators are interleaved at event
+  granularity by a deterministic scheduler, so locks, CAS races,
+  zombies and the lock-free Contains path are genuinely exercised.
+
+Every event carries ``lanes``: how many lanes participate, used by the
+cost model to attribute divergence (an access by 1 of 32 lanes still
+occupies the whole warp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    pass
+
+
+@dataclass(frozen=True)
+class ChunkRead(Event):
+    """Team-wide coalesced read of ``n`` consecutive words at ``addr``.
+
+    Result sent back: a numpy snapshot of the words.
+    """
+    addr: int
+    n: int
+
+
+@dataclass(frozen=True)
+class ChunkWrite(Event):
+    """Team-wide coalesced store of consecutive words at ``addr``.
+
+    Used only for stores to chunks not yet visible to other teams (e.g.
+    populating a freshly allocated chunk during a split); stores to live
+    chunks go through individual :class:`WordWrite` events so that the
+    per-entry write ordering the algorithm relies on is observable.
+
+    Result sent back: None.
+    """
+    addr: int
+    values: tuple
+
+
+@dataclass(frozen=True)
+class WordRead(Event):
+    """Single-lane 64-bit load.  Result: int value."""
+    addr: int
+
+
+@dataclass(frozen=True)
+class WordWrite(Event):
+    """Single-lane atomic 64-bit store.  Result: None."""
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class WordCAS(Event):
+    """atomicCAS.  Result: the old value (CUDA semantics)."""
+    addr: int
+    expected: int
+    new: int
+
+
+@dataclass(frozen=True)
+class AtomicAdd(Event):
+    """atomicAdd.  Result: the old value."""
+    addr: int
+    delta: int
+
+
+@dataclass(frozen=True)
+class AtomicExch(Event):
+    """atomicExch.  Result: the old value."""
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Compute(Event):
+    """``amount`` warp-wide issue slots of pure ALU work.
+
+    ``divergent`` marks slots replayed because lanes took different
+    branches (M&C's per-lane traversals).  Result: None.
+    """
+    amount: int = 1
+    divergent: bool = False
+
+
+@dataclass(frozen=True)
+class SpillAccess(Event):
+    """Local-memory traffic caused by register spillover.  The amount is
+    injected by the kernel wrapper according to the occupancy model, not
+    by algorithm code.  Result: None."""
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class GatherRead(Event):
+    """Warp-wide *scattered* read: each participating lane loads one word
+    from its own address (M&C node chasing).  The tracer coalesces
+    addresses that share a line — exactly the hardware rule — so the
+    transaction count is the number of distinct lines.
+
+    Result: list of int values, one per address.
+    """
+    addrs: tuple = field(default=())

@@ -1,0 +1,118 @@
+"""Kernel-launch façade tying the simulator pieces together.
+
+A :class:`GPUContext` owns one device's global memory and tracer; data
+structures (GFSL, the M&C baseline) are constructed on a context and
+express their operations as event generators.  The context offers both
+execution modes:
+
+* :meth:`run` — sequential trampoline for one operation,
+* :meth:`run_concurrent` — deterministic interleaving of many operations
+  (fine-grained races),
+
+plus :meth:`launch`, which runs an *operation array* the way the paper's
+test kernels do (Section 5.1): the array is partitioned among teams, each
+team executes its slice, and the trace is evaluated by the cost model to
+produce a throughput figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+from .device import DeviceConfig, LaunchConfig
+from .memory import GlobalMemory
+from .occupancy import KernelResources, OccupancyResult, compute_occupancy
+from .scheduler import InterleavingScheduler, TaskResult, run_to_completion
+from .timing import CostModel, TimingResult
+from .tracer import TraceStats, TransactionTracer
+
+
+@dataclass
+class LaunchResult:
+    """Everything a benchmark needs from one simulated kernel launch."""
+
+    results: list[Any]
+    stats: TraceStats
+    occupancy: OccupancyResult
+    timing: TimingResult
+
+    @property
+    def mops(self) -> float:
+        return self.timing.mops
+
+
+class GPUContext:
+    """One simulated device: memory + tracer + cost model."""
+
+    def __init__(self, num_words: int, device: DeviceConfig | None = None):
+        self.device = device or DeviceConfig.gtx970()
+        self.mem = GlobalMemory(num_words)
+        self.tracer = TransactionTracer(self.device)
+        self.cost_model = CostModel(self.device)
+
+    # -- single-operation execution ------------------------------------
+    def run(self, gen: Generator) -> Any:
+        """Execute one device-function generator to completion."""
+        return run_to_completion(gen, self.mem, self.tracer)
+
+    def run_untraced(self, gen: Generator) -> Any:
+        """Execute without cost accounting (setup/validation paths)."""
+        return run_to_completion(gen, self.mem, None)
+
+    # -- concurrent execution --------------------------------------------
+    def run_concurrent(self, gens: Iterable[Generator],
+                       seed: int | None = None,
+                       max_steps: int = 50_000_000) -> list[TaskResult]:
+        """Interleave many operations at memory-access granularity."""
+        sched = InterleavingScheduler(self.mem, self.tracer, seed=seed,
+                                      max_steps=max_steps)
+        for g in gens:
+            sched.spawn(g)
+        return sched.run()
+
+    # -- the paper's benchmark kernel ------------------------------------
+    def launch(self, op_gens: Sequence[Callable[[], Generator]],
+               launch_cfg: LaunchConfig, kernel_res: KernelResources,
+               reset_stats: bool = True,
+               extra_serial_cycles: float = 0.0,
+               concurrency: int | None = None) -> LaunchResult:
+        """Run an operation array and evaluate the cost model.
+
+        ``op_gens`` are zero-argument callables producing one operation
+        generator each (one entry of the input op array).  Operations run
+        *interleaved* in waves of ``concurrency`` in-flight ops (default:
+        the device's memory-parallelism limit for this kernel), so L2
+        thrashing between concurrent access streams and lock/CAS
+        conflicts appear in the trace exactly as they would on hardware;
+        the cost model then converts the trace into cycles.  Pass
+        ``concurrency=1`` for a purely sequential replay (an ablation
+        knob: it shows how much of M&C's melt-down is thrash-driven).
+        """
+        if reset_stats:
+            self.tracer.reset_stats()
+        occ = compute_occupancy(self.device, launch_cfg, kernel_res)
+        if concurrency is None:
+            in_flight = (occ.active_warps_per_sm * self.device.num_sms
+                         * max(1, self.device.warp_size
+                               // kernel_res.lanes_per_op))
+            concurrency = min(in_flight,
+                              self.device.mshr_per_sm * self.device.num_sms)
+        concurrency = max(1, concurrency)
+
+        results: list[Any] = []
+        if concurrency == 1:
+            results = [self.run(make()) for make in op_gens]
+        else:
+            for start in range(0, len(op_gens), concurrency):
+                wave = op_gens[start: start + concurrency]
+                sched = InterleavingScheduler(self.mem, self.tracer)
+                for make in wave:
+                    sched.spawn(make())
+                results.extend(r.value for r in sched.run())
+
+        timing = self.cost_model.evaluate(
+            self.tracer.stats, occ, ops=len(op_gens), kernel=kernel_res,
+            extra_serial_cycles=extra_serial_cycles)
+        return LaunchResult(results=results, stats=self.tracer.stats,
+                            occupancy=occ, timing=timing)

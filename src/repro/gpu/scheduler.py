@@ -1,0 +1,207 @@
+"""Execution engines for simulated kernels.
+
+Two engines share one event vocabulary (:mod:`repro.gpu.events`):
+
+* :func:`run_to_completion` — the *sequential* trampoline: drains one
+  team-operation generator.  Used when operations are issued one at a
+  time (throughput experiments — the cost accounting is identical, only
+  the interleaving differs).
+
+* :class:`InterleavingScheduler` — the *concurrent* engine: keeps many
+  team generators in flight and advances them one event at a time in a
+  deterministic (optionally seeded-shuffled) round-robin.  This is how
+  the simulator exposes the algorithm to real races: a context switch
+  can happen between any two memory accesses, the same granularity at
+  which warps interleave on an SM.  Spin-locks make progress because
+  round-robin is fair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from . import events as ev
+from .memory import GlobalMemory
+from .tracer import TransactionTracer
+
+
+class DeviceFault(RuntimeError):
+    """An event the executor does not understand, or an illegal access."""
+
+
+def execute_event(event: ev.Event, mem: GlobalMemory,
+                  tracer: TransactionTracer | None) -> Any:
+    """Perform one event against memory, feeding the tracer; returns the
+    value to ``send`` back into the generator."""
+    t = tracer
+    if isinstance(event, ev.ChunkRead):
+        if t:
+            t.access_words(event.addr, event.n, coalesced=True)
+            t.record_compute(1)
+        return mem.read_range(event.addr, event.n)
+    if isinstance(event, ev.ChunkWrite):
+        vals = np.asarray(event.values, dtype=np.uint64)
+        if t:
+            t.access_words(event.addr, len(vals), coalesced=True)
+            t.record_compute(1)
+        mem.write_range(event.addr, vals)
+        return None
+    if isinstance(event, ev.WordRead):
+        if t:
+            t.access_words(event.addr, 1, coalesced=False)
+            t.record_compute(1)
+        return mem.read_word(event.addr)
+    if isinstance(event, ev.WordWrite):
+        if t:
+            t.access_words(event.addr, 1, coalesced=False)
+            t.record_compute(1)
+        mem.write_word(event.addr, event.value)
+        return None
+    if isinstance(event, ev.WordCAS):
+        if t:
+            t.access_words(event.addr, 1, coalesced=False, atomic=True)
+            t.record_compute(1)
+        return mem.cas_word(event.addr, event.expected, event.new)
+    if isinstance(event, ev.AtomicAdd):
+        if t:
+            t.access_words(event.addr, 1, coalesced=False, atomic=True)
+            t.record_compute(1)
+        return mem.atomic_add(event.addr, event.delta)
+    if isinstance(event, ev.AtomicExch):
+        if t:
+            t.access_words(event.addr, 1, coalesced=False, atomic=True)
+            t.record_compute(1)
+        return mem.atomic_exch(event.addr, event.value)
+    if isinstance(event, ev.Compute):
+        if t:
+            t.record_compute(event.amount, divergent=event.divergent)
+        return None
+    if isinstance(event, ev.SpillAccess):
+        if t:
+            t.record_spill(event.count)
+        return None
+    if isinstance(event, ev.GatherRead):
+        addrs = event.addrs
+        if t:
+            # Hardware coalescing rule: one transaction per distinct line.
+            lines = {a // t.words_per_line for a in addrs}
+            for a in addrs:
+                t._tlb_access(a)
+            for line in sorted(lines):
+                hit = t.l2.access(line)
+                t.stats.transactions += 1
+                if hit:
+                    t.stats.l2_hit_transactions += 1
+                    t.stats.l2_scattered += 1
+                else:
+                    t.stats.dram_transactions += 1
+                    t.stats.dram_scattered += 1
+            t.stats.bytes_requested += len(addrs) * 8
+            t.stats.scalar_accesses += 1
+            t.record_compute(1)
+        return [mem.read_word(a) for a in addrs]
+    raise DeviceFault(f"unknown event {event!r}")
+
+
+def run_to_completion(gen: Generator, mem: GlobalMemory,
+                      tracer: TransactionTracer | None = None) -> Any:
+    """Drain one device-function generator; returns its return value."""
+    try:
+        event = next(gen)
+        while True:
+            result = execute_event(event, mem, tracer)
+            event = gen.send(result)
+    except StopIteration as stop:
+        return stop.value
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task run under the interleaving scheduler.
+
+    ``start_step``/``end_step`` are global scheduler step stamps for the
+    task's first and last event — the invocation/response interval used
+    by the linearizability checker."""
+    task_id: int
+    value: Any
+    steps: int
+    start_step: int = -1
+    end_step: int = -1
+
+
+@dataclass
+class _Task:
+    task_id: int
+    gen: Generator
+    pending: Any = None       # result waiting to be sent in
+    started: bool = False
+    steps: int = 0
+    start_step: int = -1
+
+
+class InterleavingScheduler:
+    """Deterministic fine-grained interleaver for concurrent teams.
+
+    ``spawn`` registers team-operation generators; ``run`` advances them
+    one event per turn until all complete.  The schedule is round-robin;
+    with a seeded RNG, each round's visit order is shuffled, giving a
+    reproducible but adversarial exploration of interleavings (useful
+    for stress tests).
+
+    ``max_steps`` guards against livelock bugs: exceeding it raises.
+    """
+
+    def __init__(self, mem: GlobalMemory, tracer: TransactionTracer | None = None,
+                 seed: int | None = None, max_steps: int = 50_000_000):
+        self.mem = mem
+        self.tracer = tracer
+        self.rng = np.random.default_rng(seed) if seed is not None else None
+        self.max_steps = max_steps
+        self._tasks: list[_Task] = []
+        self._next_id = 0
+
+    def spawn(self, gen: Generator) -> int:
+        tid = self._next_id
+        self._next_id += 1
+        self._tasks.append(_Task(task_id=tid, gen=gen))
+        return tid
+
+    def run(self) -> list[TaskResult]:
+        """Run all spawned tasks to completion; returns results ordered
+        by task id."""
+        results: dict[int, TaskResult] = {}
+        live = list(self._tasks)
+        self._tasks = []
+        total_steps = 0
+        while live:
+            order = list(range(len(live)))
+            if self.rng is not None:
+                self.rng.shuffle(order)
+            finished: list[int] = []
+            for idx in order:
+                task = live[idx]
+                try:
+                    if not task.started:
+                        task.started = True
+                        task.start_step = total_steps
+                        event = next(task.gen)
+                    else:
+                        event = task.gen.send(task.pending)
+                    task.pending = execute_event(event, self.mem, self.tracer)
+                    task.steps += 1
+                    total_steps += 1
+                    if total_steps > self.max_steps:
+                        raise DeviceFault(
+                            "scheduler exceeded max_steps — possible livelock"
+                        )
+                except StopIteration as stop:
+                    results[task.task_id] = TaskResult(
+                        task.task_id, stop.value, task.steps,
+                        start_step=task.start_step, end_step=total_steps)
+                    finished.append(idx)
+            for idx in sorted(finished, reverse=True):
+                live.pop(idx)
+        return [results[k] for k in sorted(results)]

@@ -1,0 +1,159 @@
+"""Transaction accounting: coalescing, L2 classification, cost tallies.
+
+On the simulated device every memory event is mapped to the set of
+128-byte cache lines it touches.  A *transaction* is one line-sized
+request (Section 2.2: "a memory transaction is performed for every cache
+line covered by the requests").  Thus:
+
+* a GFSL team of 16 reading its 128 B chunk issues 1 transaction,
+* a team of 32 reading a 256 B chunk issues 2,
+* 32 M&C threads each chasing a different pointer issue up to 32.
+
+Each transaction is classified by the L2 model as a hit or a DRAM access;
+the :class:`TraceStats` counters feed the cycle model in
+:mod:`repro.gpu.timing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache import L2Cache
+from .device import DeviceConfig
+from .memory import WORD_BYTES
+
+
+@dataclass
+class TraceStats:
+    """Aggregate counters for one simulated kernel run."""
+
+    transactions: int = 0
+    l2_hit_transactions: int = 0
+    dram_transactions: int = 0
+    # DRAM misses split by access pattern: coalesced bursts stream at
+    # full bandwidth, scattered single-word misses pay DRAM row
+    # activation on (almost) every access.
+    dram_coalesced: int = 0
+    dram_scattered: int = 0
+    # L2 hits split the same way (a scattered hit moves one 32B sector,
+    # a coalesced hit a full line).
+    l2_coalesced: int = 0
+    l2_scattered: int = 0
+    tlb_misses: int = 0
+    coalesced_accesses: int = 0      # team-wide accesses (ChunkRead etc.)
+    scalar_accesses: int = 0         # single-word accesses
+    atomic_ops: int = 0
+    atomic_conflicts: int = 0        # same-line atomics within one warp step
+    instructions: int = 0            # warp-wide issue slots (Compute events)
+    divergent_instructions: int = 0  # issue slots spent in divergent replay
+    bytes_requested: int = 0
+    spill_accesses: int = 0
+
+    def merge(self, other: "TraceStats") -> None:
+        for f in (
+            "transactions", "l2_hit_transactions", "dram_transactions",
+            "dram_coalesced", "dram_scattered", "l2_coalesced",
+            "l2_scattered", "tlb_misses",
+            "coalesced_accesses", "scalar_accesses", "atomic_ops",
+            "atomic_conflicts", "instructions", "divergent_instructions",
+            "bytes_requested", "spill_accesses",
+        ):
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.l2_hit_transactions / self.transactions if self.transactions else 0.0
+
+
+class TransactionTracer:
+    """Maps memory events onto cache-line transactions and tallies cost.
+
+    The tracer owns the device's L2 model.  All device accesses funnel
+    through :meth:`access_words`; the trampoline in
+    :mod:`repro.gpu.scheduler` calls it for every memory event.
+    """
+
+    def __init__(self, device: DeviceConfig):
+        self.device = device
+        self.l2 = L2Cache(device.l2_bytes, device.line_bytes, device.l2_assoc)
+        self.stats = TraceStats()
+        self.words_per_line = device.line_bytes // WORD_BYTES
+        # A small TLB: GPU page tables cover tens of MB; structures far
+        # beyond that add an address-translation walk to scattered
+        # accesses (the extra super-linear penalty at 10M+ key ranges).
+        self.tlb_page_words = device.tlb_page_bytes // WORD_BYTES
+        self.tlb_entries = device.tlb_entries
+        self._tlb: dict[int, None] = {}
+
+    # ------------------------------------------------------------------
+    def lines_of(self, addr: int, n_words: int) -> range:
+        """Line addresses covered by ``n_words`` words at word address
+        ``addr``."""
+        first = addr // self.words_per_line
+        last = (addr + n_words - 1) // self.words_per_line
+        return range(first, last + 1)
+
+    def _tlb_access(self, addr: int) -> None:
+        page = addr // self.tlb_page_words
+        tlb = self._tlb
+        if page in tlb:
+            del tlb[page]
+            tlb[page] = None
+            return
+        self.stats.tlb_misses += 1
+        if len(tlb) >= self.tlb_entries:
+            tlb.pop(next(iter(tlb)))
+        tlb[page] = None
+
+    def access_words(self, addr: int, n_words: int, *, coalesced: bool,
+                     atomic: bool = False) -> int:
+        """Record an access covering ``n_words`` words; returns the number
+        of transactions issued."""
+        self._tlb_access(addr)
+        ntrans = 0
+        for line in self.lines_of(addr, n_words):
+            hit = self.l2.access(line)
+            ntrans += 1
+            if hit:
+                self.stats.l2_hit_transactions += 1
+                if coalesced:
+                    self.stats.l2_coalesced += 1
+                else:
+                    self.stats.l2_scattered += 1
+            else:
+                self.stats.dram_transactions += 1
+                if coalesced:
+                    self.stats.dram_coalesced += 1
+                else:
+                    self.stats.dram_scattered += 1
+        self.stats.transactions += ntrans
+        self.stats.bytes_requested += n_words * WORD_BYTES
+        if coalesced:
+            self.stats.coalesced_accesses += 1
+        else:
+            self.stats.scalar_accesses += 1
+        if atomic:
+            self.stats.atomic_ops += 1
+        return ntrans
+
+    def record_atomic_conflicts(self, n: int) -> None:
+        """Record ``n`` serialized same-destination atomics in one warp."""
+        self.stats.atomic_conflicts += n
+
+    def record_compute(self, amount: int, divergent: bool = False) -> None:
+        self.stats.instructions += amount
+        if divergent:
+            self.stats.divergent_instructions += amount
+
+    def record_spill(self, n: int) -> None:
+        self.stats.spill_accesses += n
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        self.stats = TraceStats()
+        self.l2.stats.reset()
+        self._tlb.clear()
+
+    def warm_words(self, addr: int, n_words: int) -> None:
+        """Warm the L2 with the lines of a word range (post-bulk-build)."""
+        self.l2.warm(self.lines_of(addr, n_words))

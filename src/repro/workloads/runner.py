@@ -1,0 +1,228 @@
+"""Workload runner: builds a structure, replays an op array through the
+simulated device, and evaluates the cost model — one call per data point
+of the paper's figures.
+
+Scaling note (DESIGN.md §2): the paper runs 10M operations per point;
+the simulator replays a scaled sample (default 4000) on a bulk-built
+steady-state structure.  Throughput in the model is a per-operation
+cost, so the sample size affects confidence intervals, not means.
+
+The runner also applies the *contention model*: sequential replay cannot
+observe lock conflicts, so the expected conflict cost is charged
+analytically from the number of update operations in flight and the
+number of lockable slots (chunks for GFSL — coarse, hence the paper's
+small-range dip; nodes for M&C).  And it applies the paper-scale
+*feasibility check*: M&C preallocates full-tower nodes and runs out of
+device memory beyond the 10M (mixed) / 3M (single-op) ranges
+(Section 5.3), so those points report OOM like the paper's missing bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baseline import MC_KERNEL, MCSkiplist
+from ..baseline import bulk_build_into as mc_bulk
+from ..baseline import warm_structure as mc_warm
+from ..baseline.node import HEADER_WORDS
+from ..core import GFSL, GFSL_KERNEL, bulk_build_into, suggest_capacity
+from ..core.bulk import DEFAULT_FILL, _per_chunk, warm_structure
+from ..gpu import DeviceConfig, LaunchConfig, TraceStats
+from ..gpu.occupancy import compute_occupancy
+from .generator import Mixture, Op, Workload
+
+# GTX 970's usable fast segment (the infamous 3.5+0.5 GB split, minus
+# driver/runtime reservations) — governs the paper-scale OOM points:
+# M&C fits mixed tests to 10M keys and single-op tests to 3M (§5.3).
+MC_USABLE_BYTES = 2.6 * 1024**3
+MC_NODE_BYTES = (HEADER_WORDS + 32) * 8       # full-tower preallocation
+PAPER_OPS = 10_000_000
+
+# Contention coefficients (serialized cycles per op at full saturation):
+# GFSL locks whole chunks (coarse slots → strong small-range dips,
+# Section 5.3's "tradeoff between faster traversal and higher
+# contention"); M&C contends per node.
+GFSL_CONTENTION = (30.0, 0.2)   # (cycles at saturation, update-frac exp)
+MC_CONTENTION = (5000.0, 1.5)
+
+
+@dataclass
+class RunResult:
+    """One data point: throughput + diagnostics."""
+
+    structure: str
+    team_size: int
+    key_range: int
+    mixture_name: str
+    n_ops: int
+    mops: float
+    seconds: float
+    stats: TraceStats
+    bottleneck: str
+    occupancy: float
+    l2_hit_rate: float
+    transactions_per_op: float
+    oom: bool = False
+
+    @staticmethod
+    def oom_point(structure: str, team_size: int, key_range: int,
+                  mixture_name: str) -> "RunResult":
+        """A NaN-throughput point marking a paper-scale OOM range."""
+        return RunResult(structure=structure, team_size=team_size,
+                         key_range=key_range, mixture_name=mixture_name,
+                         n_ops=0, mops=float("nan"), seconds=float("nan"),
+                         stats=TraceStats(), bottleneck="oom", occupancy=0.0,
+                         l2_hit_rate=0.0, transactions_per_op=0.0, oom=True)
+
+
+def mc_paper_scale_feasible(key_range: int, mixture: Mixture,
+                            paper_ops: int | None = None) -> bool:
+    """Would M&C's allocation strategy fit the GTX 970 at paper scale?"""
+    ops = paper_ops if paper_ops is not None else (
+        key_range if mixture.kind != "mixed" else PAPER_OPS)
+    prefill = key_range // 2 if mixture.kind == "mixed" else (
+        0 if mixture.kind == "insert-only" else key_range)
+    insert_ops = ops * mixture.inserts // 100
+    if mixture.kind == "insert-only":
+        insert_ops = ops
+    need = (prefill + insert_ops + ops) * 0  # op array accounted below
+    need = (prefill + insert_ops) * MC_NODE_BYTES + ops * 16
+    return need <= MC_USABLE_BYTES
+
+
+def build_gfsl(workload: Workload, team_size: int = 32,
+               p_chunk: float = 1.0, device: DeviceConfig | None = None,
+               seed: int = 0) -> GFSL:
+    """Bulk-build the prefilled GFSL for a workload and warm the L2."""
+    expected = len(workload.prefill) + int(
+        np.count_nonzero(workload.ops == Op.INSERT)) + 8
+    sl = GFSL(capacity_chunks=suggest_capacity(max(expected, 64), team_size),
+              team_size=team_size, p_chunk=p_chunk, device=device, seed=seed)
+    if len(workload.prefill):
+        bulk_build_into(sl, [(int(k), 0) for k in workload.prefill],
+                        rng=sl.rng)
+    warm_structure(sl)
+    return sl
+
+
+def build_mc(workload: Workload, p_key: float = 0.5,
+             device: DeviceConfig | None = None, seed: int = 0) -> MCSkiplist:
+    """Bulk-build the prefilled M&C skiplist and warm the L2."""
+    expected = len(workload.prefill) + int(
+        np.count_nonzero(workload.ops == Op.INSERT)) + 8
+    capacity = expected * (HEADER_WORDS + 4) * 2 + 8192
+    mc = MCSkiplist(capacity_words=capacity, p_key=p_key, device=device,
+                    seed=seed)
+    if len(workload.prefill):
+        mc_bulk(mc, [(int(k), 0) for k in workload.prefill], rng=mc.rng)
+    mc_warm(mc)
+    return mc
+
+
+def _op_gens(structure, workload: Workload):
+    makers = []
+    for op, key in zip(workload.ops, workload.keys):
+        k = int(key)
+        if op == Op.CONTAINS:
+            makers.append(lambda k=k: structure.contains_gen(k))
+        elif op == Op.INSERT:
+            makers.append(lambda k=k: structure.insert_gen(k))
+        else:
+            makers.append(lambda k=k: structure.delete_gen(k))
+    return makers
+
+
+def contention_serial_cycles(device: DeviceConfig, occ, kernel,
+                             workload: Workload, slots: int,
+                             coeff: tuple[float, float]) -> float:
+    """Expected serialized conflict cycles: update ops in flight compete
+    for ``slots`` lockable locations (chunks for GFSL, nodes for M&C);
+    each conflict burns one retry of ``conflict_cost`` cycles that the
+    warp scheduler cannot hide.  The in-flight count is capped by the
+    memory-parallelism limit — threads stalled on the MSHR queue are not
+    actively contending."""
+    uf = workload.mixture.update_fraction
+    if uf <= 0.0 or slots <= 0:
+        return 0.0
+    in_flight = (occ.active_warps_per_sm * device.num_sms
+                 * max(1, device.warp_size // kernel.lanes_per_op))
+    in_flight = min(in_flight, device.mshr_per_sm * device.num_sms)
+    # Saturating pressure: once in-flight ops rival the number of
+    # lockable slots, every op (searches included — they re-traverse
+    # chunks being rewritten) pays serialized retry cycles.  The weak
+    # exponent reflects that even a few percent of updates keeps a hot
+    # small structure perpetually contended (the paper sees the dip at
+    # [1,1,98] already).
+    cost, exp = coeff
+    pressure = (in_flight / slots) ** 2
+    saturation = pressure / (1.0 + pressure)
+    return workload.n_ops * cost * (uf ** exp) * saturation
+
+
+def run_workload(structure_kind: str, workload: Workload,
+                 team_size: int = 32, p_chunk: float = 1.0,
+                 p_key: float = 0.5,
+                 launch: LaunchConfig | None = None,
+                 device: DeviceConfig | None = None,
+                 seed: int = 0,
+                 enforce_paper_oom: bool = True) -> RunResult:
+    """Execute one benchmark point.  ``structure_kind`` is ``"gfsl"`` or
+    ``"mc"``."""
+    device = device or DeviceConfig.gtx970()
+    if structure_kind == "gfsl":
+        kernel = GFSL_KERNEL
+        if team_size < 32:
+            # Sub-warp teams pay mask-management overhead on every
+            # cooperative op ("care must be taken to only evaluate values
+            # read by the current team when using teams smaller than warp
+            # size", Section 4.2.1) — part of why GFSL-32 beats GFSL-16
+            # despite the latter's single-transaction chunks (Section 5.2).
+            from dataclasses import replace as _replace
+            factor = (32 / team_size) ** 0.5
+            kernel = _replace(
+                GFSL_KERNEL,
+                op_overhead_instructions=GFSL_KERNEL.op_overhead_instructions
+                * factor)
+        launch = launch or LaunchConfig(warps_per_block=16, team_size=team_size)
+        st = build_gfsl(workload, team_size=team_size, p_chunk=p_chunk,
+                        device=device, seed=seed)
+        slots = max(1, len(workload.prefill)
+                    // _per_chunk(st.geo, DEFAULT_FILL))
+        conflict = GFSL_CONTENTION
+        label = f"GFSL-{team_size}"
+    elif structure_kind == "mc":
+        if enforce_paper_oom and not mc_paper_scale_feasible(
+                workload.key_range, workload.mixture):
+            return RunResult.oom_point("M&C", 32, workload.key_range,
+                                       workload.mixture.name)
+        kernel = MC_KERNEL
+        launch = launch or LaunchConfig(warps_per_block=16, team_size=32)
+        st = build_mc(workload, p_key=p_key, device=device, seed=seed)
+        slots = max(1, len(workload.prefill))
+        conflict = MC_CONTENTION
+        label = "M&C"
+    else:
+        raise ValueError(f"unknown structure kind {structure_kind!r}")
+
+    occ = compute_occupancy(device, launch, kernel)
+    extra = contention_serial_cycles(device, occ, kernel, workload, slots,
+                                     conflict)
+    result = st.ctx.launch(_op_gens(st, workload), launch, kernel,
+                           extra_serial_cycles=extra)
+    stats = result.stats
+    return RunResult(
+        structure=label,
+        team_size=team_size if structure_kind == "gfsl" else 32,
+        key_range=workload.key_range,
+        mixture_name=workload.mixture.name,
+        n_ops=workload.n_ops,
+        mops=result.timing.mops,
+        seconds=result.timing.seconds,
+        stats=stats,
+        bottleneck=result.timing.bottleneck,
+        occupancy=result.timing.achieved_occupancy,
+        l2_hit_rate=stats.l2_hit_rate,
+        transactions_per_op=stats.transactions / max(1, workload.n_ops),
+    )

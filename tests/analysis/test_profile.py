@@ -1,0 +1,88 @@
+"""Tests for the device-cost profiler."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.profile import DeviceProfiler, OpProfile
+from repro.baseline import MCSkiplist
+from repro.core import GFSL, bulk_build_into
+from repro.gpu.tracer import TraceStats
+
+
+def built_gfsl():
+    sl = GFSL(capacity_chunks=1024, team_size=32, seed=1)
+    bulk_build_into(sl, [(k, 0) for k in range(2, 8000, 2)])
+    return sl
+
+
+class TestOpProfile:
+    def test_summary_stats(self):
+        p = OpProfile("x")
+        for t in (10, 20, 30):
+            p.add(TraceStats(transactions=t))
+        s = p.summary()
+        assert s["samples"] == 3
+        assert s["transactions"]["mean"] == pytest.approx(20.0)
+        assert s["transactions"]["max"] == 30.0
+
+    def test_empty_profile(self):
+        s = OpProfile("y").summary()
+        assert math.isnan(s["transactions"]["mean"])
+
+
+class TestDeviceProfiler:
+    def test_isolated_per_op_stats(self):
+        sl = built_gfsl()
+        prof = DeviceProfiler(sl)
+        prof.profile("contains", sl.contains_gen(4000))
+        prof.profile("contains", sl.contains_gen(6000))
+        s = prof.report()[0]
+        assert s["samples"] == 2
+        assert 1 < s["transactions"]["mean"] < 60
+
+    def test_outer_stats_preserved(self):
+        """Profiling must not lose the structure's cumulative trace."""
+        sl = built_gfsl()
+        sl.ctx.tracer.reset_stats()
+        sl.contains(4000)
+        base = sl.ctx.tracer.stats.transactions
+        prof = DeviceProfiler(sl)
+        prof.profile("c", sl.contains_gen(4002))
+        assert sl.ctx.tracer.stats.transactions > base
+
+    def test_gfsl_vs_mc_cost_asymmetry(self):
+        sl = built_gfsl()
+        mc = MCSkiplist(capacity_words=400_000, seed=2)
+        from repro.baseline import bulk_build_into as mc_bulk
+        mc_bulk(mc, [(k, 0) for k in range(2, 8000, 2)])
+        rng = np.random.default_rng(0)
+        probes = rng.integers(1, 8000, size=30)
+        pg = DeviceProfiler(sl)
+        pm = DeviceProfiler(mc)
+        pg.profile_many("contains", (sl.contains_gen(int(k)) for k in probes))
+        pm.profile_many("contains", (mc.contains_gen(int(k)) for k in probes))
+        g = pg.report()[0]["transactions"]["mean"]
+        m = pm.report()[0]["transactions"]["mean"]
+        assert m > 4 * g  # the coalescing asymmetry, per probe
+
+    def test_update_ops_cost_more_than_reads(self):
+        sl = built_gfsl()
+        prof = DeviceProfiler(sl)
+        rng = np.random.default_rng(1)
+        for k in rng.integers(1, 8000, size=20):
+            prof.profile("contains", sl.contains_gen(int(k)))
+        for k in rng.integers(8001, 20000, size=20):
+            prof.profile("insert", sl.insert_gen(int(k)))
+        rep = {s["label"]: s for s in prof.report()}
+        assert (rep["insert"]["transactions"]["mean"]
+                > rep["contains"]["transactions"]["mean"])
+        assert rep["insert"]["atomics"]["mean"] >= 1  # the lock CAS
+
+    def test_render(self):
+        sl = built_gfsl()
+        prof = DeviceProfiler(sl)
+        prof.profile("contains", sl.contains_gen(4000))
+        out = prof.render()
+        assert "contains" in out and "trans(mean)" in out

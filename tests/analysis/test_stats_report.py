@@ -1,0 +1,83 @@
+"""Tests for statistics and report rendering."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (Summary, geometric_mean, human_range,
+                            render_series, render_table, speedup, summarize,
+                            t_critical_95)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0 and s.ci95 == 0.0 and s.n == 1
+
+    def test_known_ci(self):
+        s = summarize([10.0, 12.0, 14.0])
+        assert s.mean == pytest.approx(12.0)
+        # std = 2, t(2) = 4.303 → ci = 4.303 * 2 / sqrt(3)
+        assert s.ci95 == pytest.approx(4.303 * 2 / math.sqrt(3), rel=1e-3)
+        assert s.lo < s.mean < s.hi
+
+    def test_nan_filtered(self):
+        s = summarize([5.0, float("nan"), 7.0])
+        assert s.n == 2
+        assert s.mean == 6.0
+
+    def test_empty(self):
+        assert math.isnan(summarize([]).mean)
+
+    def test_rel_ci(self):
+        s = summarize([10.0, 10.0, 10.0])
+        assert s.rel_ci == 0.0
+
+    def test_t_critical(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(9) == pytest.approx(2.262)
+        assert t_critical_95(100) == pytest.approx(1.96)
+        assert math.isnan(t_critical_95(0))
+
+
+class TestSpeedupGeomean:
+    def test_speedup(self):
+        assert speedup(summarize([60.0]), summarize([20.0])) == 3.0
+
+    def test_speedup_nan_denominator(self):
+        assert math.isnan(speedup(summarize([60.0]), summarize([])))
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert math.isnan(geometric_mean([]))
+        assert math.isnan(geometric_mean([1.0, -1.0]))
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=2,
+                max_size=10))
+def test_ci_contains_mean_property(vals):
+    s = summarize(vals)
+    assert s.lo <= s.mean <= s.hi
+    assert s.ci95 >= 0
+
+
+class TestRendering:
+    def test_render_table(self):
+        out = render_table("T", ["a", "b"], [[1, 2.5], [3, float("nan")]])
+        assert "T" in out
+        assert "2.50" in out
+        assert "—" in out  # NaN as missing point
+
+    def test_render_series(self):
+        out = render_series("Fig", "range", [10_000, 1_000_000],
+                            {"GFSL": [60.0, 65.0], "M&C": [50.0, 20.0]})
+        assert "10K" in out and "1M" in out
+        assert "GFSL" in out and "M&C" in out
+
+    def test_human_range(self):
+        assert human_range(10_000) == "10K"
+        assert human_range(1_000_000) == "1M"
+        assert human_range(30_000_000) == "30M"
+        assert human_range(123) == "123"

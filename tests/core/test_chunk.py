@@ -1,0 +1,130 @@
+"""Tests for chunk geometry, KV packing, and snapshot helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.chunk import (ChunkGeometry, data_keys, is_locked, is_zombie,
+                              keys_vec, live_data, lock_state, max_field,
+                              next_ptr, num_live_entries, pack_next, vals_vec)
+
+
+class TestConstants:
+    def test_pack_unpack(self):
+        kv = C.pack_kv(0x1234, 0xABCD)
+        assert C.key_of(kv) == 0x1234
+        assert C.val_of(kv) == 0xABCD
+
+    def test_pack_masks_overflow(self):
+        kv = C.pack_kv(2**40, 2**40)
+        assert C.key_of(kv) <= C.MASK32
+        assert C.val_of(kv) <= C.MASK32
+
+    def test_empty_kv(self):
+        assert C.key_of(C.EMPTY_KV) == C.EMPTY_KEY
+
+    def test_sentinels_disjoint_from_user_range(self):
+        assert C.NEG_INF_KEY < C.MIN_USER_KEY
+        assert C.EMPTY_KEY > C.MAX_USER_KEY
+
+
+class TestGeometry:
+    def test_dsize(self):
+        g = ChunkGeometry(32)
+        assert g.dsize == 30
+        assert g.next_idx == 30
+        assert g.lock_idx == 31
+
+    def test_bytes(self):
+        assert ChunkGeometry(16).bytes == 128
+        assert ChunkGeometry(32).bytes == 256
+
+    def test_merge_threshold(self):
+        assert ChunkGeometry(32).merge_threshold == 10
+        assert ChunkGeometry(16).merge_threshold == 4
+
+    def test_split_keep(self):
+        assert ChunkGeometry(32).split_keep == 15
+        assert ChunkGeometry(16).split_keep == 7
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            ChunkGeometry(3)
+        with pytest.raises(ValueError):
+            ChunkGeometry(33)
+
+
+def make_chunk(geo, pairs, max_key=None, nxt=C.NULL_PTR, lock=C.UNLOCKED):
+    """Build a snapshot: pairs fill the data array, rest EMPTY."""
+    kvs = np.full(geo.n, np.uint64(C.EMPTY_KV), dtype=np.uint64)
+    for i, (k, v) in enumerate(pairs):
+        kvs[i] = np.uint64(C.pack_kv(k, v))
+    mk = max_key if max_key is not None else (
+        pairs[-1][0] if pairs else C.EMPTY_KEY)
+    kvs[geo.next_idx] = np.uint64(pack_next(mk, nxt))
+    kvs[geo.lock_idx] = np.uint64(lock)
+    return kvs
+
+
+GEO = ChunkGeometry(16)
+
+
+class TestSnapshotHelpers:
+    def test_keys_vals(self):
+        kvs = make_chunk(GEO, [(5, 50), (9, 90)])
+        assert list(data_keys(kvs, GEO)[:2]) == [5, 9]
+        assert list(vals_vec(kvs)[:2]) == [50, 90]
+
+    def test_max_and_next(self):
+        kvs = make_chunk(GEO, [(5, 0)], max_key=7, nxt=42)
+        assert max_field(kvs, GEO) == 7
+        assert next_ptr(kvs, GEO) == 42
+
+    def test_lock_states(self):
+        for state, zombie, locked in [(C.UNLOCKED, False, False),
+                                      (C.LOCKED, False, True),
+                                      (C.ZOMBIE, True, True)]:
+            kvs = make_chunk(GEO, [], lock=state)
+            assert lock_state(kvs, GEO) == state
+            assert is_zombie(kvs, GEO) is zombie
+            assert is_locked(kvs, GEO) is locked
+
+    def test_num_live(self):
+        assert num_live_entries(make_chunk(GEO, []), GEO) == 0
+        kvs = make_chunk(GEO, [(1, 0), (2, 0), (3, 0)])
+        assert num_live_entries(kvs, GEO) == 3
+
+    def test_neg_inf_counts_as_live(self):
+        kvs = make_chunk(GEO, [(C.NEG_INF_KEY, 0)])
+        assert num_live_entries(kvs, GEO) == 1
+
+    def test_live_data(self):
+        kvs = make_chunk(GEO, [(1, 10), (2, 20)])
+        live = live_data(kvs, GEO)
+        assert len(live) == 2
+        assert C.key_of(int(live[1])) == 2
+
+    def test_full_chunk(self):
+        pairs = [(i + 1, i) for i in range(GEO.dsize)]
+        kvs = make_chunk(GEO, pairs)
+        assert num_live_entries(kvs, GEO) == GEO.dsize
+
+
+class TestMergeDivisor:
+    def test_default_is_paper_value(self):
+        assert ChunkGeometry(16).merge_divisor == 3
+
+    def test_custom_divisor_threshold(self):
+        assert ChunkGeometry(16, merge_divisor=2).merge_threshold == 7
+        assert ChunkGeometry(16, merge_divisor=5).merge_threshold == 2
+
+    def test_divisor_bounds(self):
+        with pytest.raises(ValueError):
+            ChunkGeometry(16, merge_divisor=1)
+        with pytest.raises(ValueError):
+            ChunkGeometry(8, merge_divisor=7)  # dsize 6 // 7 == 0
+
+    def test_gfsl_accepts_divisor(self):
+        from repro.core import GFSL
+        sl = GFSL(capacity_chunks=128, team_size=16, merge_divisor=2)
+        assert sl.geo.merge_threshold == 7

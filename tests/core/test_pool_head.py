@@ -1,0 +1,150 @@
+"""Tests for the memory layout, chunk pool, and head array."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.chunk import ChunkGeometry
+from repro.core.head import HeadArray
+from repro.core.pool import WORDS_PER_LINE, ChunkPool, OutOfChunks, StructureLayout
+from repro.gpu.kernel import GPUContext
+
+
+def make(capacity=8, n=16):
+    geo = ChunkGeometry(n)
+    lay = StructureLayout(geo, max_level=n, capacity_chunks=capacity)
+    ctx = GPUContext(lay.total_words)
+    return geo, lay, ctx
+
+
+class TestLayout:
+    def test_chunk_alignment(self):
+        """Chunks must start on a 128-byte line boundary — the property
+        that makes a team read cost 1–2 transactions."""
+        _, lay, _ = make()
+        assert lay.chunks_base % WORDS_PER_LINE == 0
+        for ptr in range(4):
+            assert lay.chunk_addr(ptr) % WORDS_PER_LINE == 0
+
+    def test_addresses_disjoint(self):
+        geo, lay, _ = make()
+        a0 = lay.chunk_addr(0)
+        a1 = lay.chunk_addr(1)
+        assert a1 - a0 == geo.n
+
+    def test_entry_addr(self):
+        geo, lay, _ = make()
+        assert lay.entry_addr(2, 5) == lay.chunk_addr(2) + 5
+
+    def test_ptr_of_addr_roundtrip(self):
+        _, lay, _ = make()
+        assert lay.ptr_of_addr(lay.chunk_addr(3)) == 3
+
+    def test_bounds(self):
+        _, lay, _ = make(capacity=4)
+        with pytest.raises(IndexError):
+            lay.chunk_addr(4)
+        with pytest.raises(IndexError):
+            lay.chunk_addr(-1)
+
+    def test_head_addresses(self):
+        _, lay, _ = make(n=16)
+        assert lay.head_addr(0) == 0
+        assert lay.head_addr(15) == 15
+        assert lay.pool_ctr_addr == 16
+
+
+class TestPool:
+    def test_format_pattern(self):
+        geo, lay, ctx = make()
+        ChunkPool(lay).format(ctx.mem)
+        kvs = ctx.mem.read_range(lay.chunk_addr(0), geo.n)
+        assert C.key_of(int(kvs[0])) == C.EMPTY_KEY
+        assert C.key_of(int(kvs[geo.next_idx])) == C.EMPTY_KEY        # max ∞
+        assert C.val_of(int(kvs[geo.next_idx])) == C.NULL_PTR
+        assert int(kvs[geo.lock_idx]) == C.LOCKED                     # born locked
+
+    def test_alloc_bumps(self):
+        geo, lay, ctx = make()
+        pool = ChunkPool(lay)
+        pool.format(ctx.mem)
+        assert ctx.run(pool.alloc()) == 0
+        assert ctx.run(pool.alloc()) == 1
+        assert pool.allocated(ctx.mem) == 2
+
+    def test_alloc_exhaustion(self):
+        geo, lay, ctx = make(capacity=2)
+        pool = ChunkPool(lay)
+        pool.format(ctx.mem)
+        ctx.run(pool.alloc())
+        ctx.run(pool.alloc())
+        with pytest.raises(OutOfChunks):
+            ctx.run(pool.alloc())
+
+    def test_set_allocated_checks_capacity(self):
+        geo, lay, ctx = make(capacity=4)
+        pool = ChunkPool(lay)
+        pool.format(ctx.mem)
+        pool.set_allocated(ctx.mem, 3)
+        assert pool.allocated(ctx.mem) == 3
+        with pytest.raises(OutOfChunks):
+            pool.set_allocated(ctx.mem, 5)
+
+
+class TestHeadArray:
+    def _head(self, n=16, capacity=64):
+        geo, lay, ctx = make(capacity=capacity, n=n)
+        head = HeadArray(lay)
+        head.format(ctx.mem, list(range(n)))
+        return head, ctx, lay
+
+    def test_format_and_read(self):
+        head, ctx, lay = self._head()
+        words = ctx.run(head.read_all())
+        assert head.ptr_of(words, 0) == 0
+        assert head.ptr_of(words, 5) == 5
+        assert head.height_of(words) == 0   # all counters zero
+
+    def test_height_tracks_counters(self):
+        head, ctx, lay = self._head()
+        ctx.run(head.increment_chunks(3))
+        words = ctx.run(head.read_all())
+        assert head.height_of(words) == 3
+        ctx.run(head.increment_chunks(7))
+        words = ctx.run(head.read_all())
+        assert head.height_of(words) == 7
+
+    def test_decrement(self):
+        head, ctx, lay = self._head()
+        ctx.run(head.increment_chunks(2))
+        ctx.run(head.increment_chunks(2))
+        ctx.run(head.decrement_chunks(2))
+        assert not ctx.run(head.is_level_empty(2))
+        ctx.run(head.decrement_chunks(2))
+        assert ctx.run(head.is_level_empty(2))
+
+    def test_decrement_never_negative(self):
+        head, ctx, lay = self._head()
+        ctx.run(head.decrement_chunks(1))
+        assert ctx.run(head.is_level_empty(1))
+        # Pointer half must be intact.
+        words = ctx.run(head.read_all())
+        assert head.ptr_of(words, 1) == 1
+
+    def test_increment_preserves_pointer(self):
+        head, ctx, lay = self._head()
+        ctx.run(head.increment_chunks(4))
+        words = ctx.run(head.read_all())
+        assert head.ptr_of(words, 4) == 4
+
+    def test_replace_first_chunk(self):
+        head, ctx, lay = self._head()
+        assert ctx.run(head.replace_first_chunk(2, 2, 9))
+        words = ctx.run(head.read_all())
+        assert head.ptr_of(words, 2) == 9
+
+    def test_replace_first_chunk_stale_fails(self):
+        head, ctx, lay = self._head()
+        assert not ctx.run(head.replace_first_chunk(2, 7, 9))
+        words = ctx.run(head.read_all())
+        assert head.ptr_of(words, 2) == 2

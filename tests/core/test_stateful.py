@@ -1,0 +1,118 @@
+"""Stateful property testing: hypothesis drives arbitrary operation
+sequences against GFSL and the M&C baseline, checking every response
+against a model dict and re-validating structure invariants at the end
+of each program."""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant,
+                                 precondition, rule)
+
+from repro.baseline import MCSkiplist
+from repro.core import GFSL, validate_structure
+
+KEY = st.integers(min_value=1, max_value=120)
+VAL = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class GFSLMachine(RuleBasedStateMachine):
+    """GFSL must behave exactly like a dict with ordered keys."""
+
+    def __init__(self):
+        super().__init__()
+        self.sl = GFSL(capacity_chunks=512, team_size=8, seed=1234)
+        self.model: dict[int, int] = {}
+        self.ops = 0
+
+    @rule(k=KEY, v=VAL)
+    def insert(self, k, v):
+        expected = k not in self.model
+        assert self.sl.insert(k, v) == expected
+        if expected:
+            self.model[k] = v
+        self.ops += 1
+
+    @rule(k=KEY)
+    def delete(self, k):
+        assert self.sl.delete(k) == (k in self.model)
+        self.model.pop(k, None)
+        self.ops += 1
+
+    @rule(k=KEY)
+    def contains(self, k):
+        assert self.sl.contains(k) == (k in self.model)
+
+    @rule(k=KEY)
+    def get(self, k):
+        assert self.sl.get(k) == self.model.get(k)
+
+    @rule(k=KEY, v=VAL)
+    def update(self, k, v):
+        expected = k in self.model
+        assert self.sl.update(k, v) == expected
+        if expected:
+            self.model[k] = v
+
+    @rule(lo=KEY, hi=KEY)
+    def range_query(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        expected = sorted((k, v) for k, v in self.model.items()
+                          if lo <= k <= hi)
+        assert self.sl.range_query(lo, hi) == expected
+
+    @rule()
+    def pop_min(self):
+        expected = min(self.model) if self.model else None
+        assert self.sl.pop_min() == expected
+        if expected is not None:
+            del self.model[expected]
+
+    @precondition(lambda self: self.ops >= 20)
+    @rule()
+    def compact(self):
+        self.sl.compact()
+        self.ops = 0
+
+    @invariant()
+    def keys_sorted_and_equal(self):
+        assert self.sl.keys() == sorted(self.model)
+
+    def teardown(self):
+        validate_structure(self.sl)
+
+
+class MCMachine(RuleBasedStateMachine):
+    """The M&C baseline against the same model."""
+
+    def __init__(self):
+        super().__init__()
+        self.mc = MCSkiplist(capacity_words=400_000, seed=77)
+        self.model: set[int] = set()
+
+    @rule(k=KEY)
+    def insert(self, k):
+        assert self.mc.insert(k) == (k not in self.model)
+        self.model.add(k)
+
+    @rule(k=KEY)
+    def delete(self, k):
+        assert self.mc.delete(k) == (k in self.model)
+        self.model.discard(k)
+
+    @rule(k=KEY)
+    def contains(self, k):
+        assert self.mc.contains(k) == (k in self.model)
+
+    @invariant()
+    def keys_match(self):
+        assert self.mc.keys() == sorted(self.model)
+
+
+TestGFSLStateful = GFSLMachine.TestCase
+TestGFSLStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)
+
+TestMCStateful = MCMachine.TestCase
+TestMCStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None)

@@ -1,0 +1,149 @@
+"""Tests for the warp-cooperative decision functions (Algorithm 4.3 etc.).
+
+The precedence rules under test are load-bearing for concurrency: higher
+tIds win ballots, NEXT outranks DATA, LOCK never votes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import constants as C
+from repro.core import team
+from repro.core.chunk import ChunkGeometry, pack_next
+
+from .test_chunk import make_chunk
+
+GEO = ChunkGeometry(16)
+
+
+class TestTidForNextStep:
+    def test_down_step_largest_leq(self):
+        kvs = make_chunk(GEO, [(10, 0), (20, 1), (30, 2)], max_key=30)
+        assert team.tid_for_next_step(25, kvs, GEO) == 1  # key 20
+
+    def test_exact_match_is_down_step(self):
+        kvs = make_chunk(GEO, [(10, 0), (20, 1)], max_key=20)
+        assert team.tid_for_next_step(20, kvs, GEO) == 1
+
+    def test_lateral_when_greater_than_max(self):
+        kvs = make_chunk(GEO, [(10, 0), (20, 1)], max_key=20, nxt=5)
+        assert team.tid_for_next_step(21, kvs, GEO) == GEO.next_idx
+
+    def test_next_outranks_data(self):
+        """If max < k, NEXT wins even though DATA lanes also voted —
+        the rule that makes half-emptied split sources safe to read."""
+        kvs = make_chunk(GEO, [(10, 0), (20, 1)], max_key=15, nxt=5)
+        assert team.tid_for_next_step(18, kvs, GEO) == GEO.next_idx
+
+    def test_backtrack_when_all_greater(self):
+        kvs = make_chunk(GEO, [(10, 0), (20, 1)], max_key=20)
+        assert team.tid_for_next_step(5, kvs, GEO) == C.NONE_TID
+
+    def test_empty_entries_vote_false(self):
+        # EMPTY lanes above lane 0 must not outrank it (EMPTY > any k).
+        kvs = make_chunk(GEO, [(10, 0)], max_key=20)
+        assert team.tid_for_next_step(15, kvs, GEO) == 0
+
+    def test_neg_inf_always_eligible(self):
+        kvs = make_chunk(GEO, [(C.NEG_INF_KEY, 7)], max_key=C.NEG_INF_KEY,
+                         nxt=3)
+        # max(-inf) < k → lateral wins; but with max >= k it's a down step
+        kvs2 = make_chunk(GEO, [(C.NEG_INF_KEY, 7)], max_key=50)
+        assert team.tid_for_next_step(10, kvs, GEO) == GEO.next_idx
+        assert team.tid_for_next_step(10, kvs2, GEO) == 0
+
+    def test_duplicate_key_higher_lane_wins(self):
+        """Transient duplicates (mid-shift states) resolve to the higher
+        lane — the newer copy."""
+        kvs = make_chunk(GEO, [(10, 0), (10, 1)], max_key=10)
+        assert team.tid_for_next_step(10, kvs, GEO) == 1
+
+    def test_lock_lane_never_votes(self):
+        kvs = make_chunk(GEO, [(10, 0)], max_key=10)
+        kvs[GEO.lock_idx] = np.uint64(C.pack_kv(5, 5))  # garbage lock word
+        assert team.tid_for_next_step(10, kvs, GEO) == 0
+
+
+class TestTidWithEqualKey:
+    def test_found(self):
+        kvs = make_chunk(GEO, [(10, 0), (20, 1)], max_key=20)
+        assert team.tid_with_equal_key(20, kvs, GEO) == 1
+
+    def test_absent_in_enclosing(self):
+        kvs = make_chunk(GEO, [(10, 0), (30, 1)], max_key=30)
+        assert team.tid_with_equal_key(20, kvs, GEO) == C.NONE_TID
+
+    def test_lateral(self):
+        kvs = make_chunk(GEO, [(10, 0)], max_key=10, nxt=2)
+        assert team.tid_with_equal_key(99, kvs, GEO) == GEO.next_idx
+
+
+class TestInsertionIdx:
+    def test_middle(self):
+        kvs = make_chunk(GEO, [(10, 0), (30, 1)], max_key=30)
+        assert team.insertion_idx(20, kvs, GEO) == 1
+
+    def test_front(self):
+        kvs = make_chunk(GEO, [(10, 0)], max_key=10)
+        assert team.insertion_idx(5, kvs, GEO) == 0
+
+    def test_after_all_live(self):
+        kvs = make_chunk(GEO, [(10, 0), (20, 1)], max_key=50)
+        assert team.insertion_idx(30, kvs, GEO) == 2
+
+    def test_full_chunk_raises(self):
+        pairs = [(i + 1, 0) for i in range(GEO.dsize)]
+        kvs = make_chunk(GEO, pairs)
+        with pytest.raises(AssertionError):
+            team.insertion_idx(GEO.dsize + 5, kvs, GEO)
+
+
+class TestOtherHelpers:
+    def test_tid_of_down_step(self):
+        kvs = make_chunk(GEO, [(10, 0), (20, 1)], max_key=20)
+        assert team.tid_of_down_step(25, kvs, GEO) == 1
+        assert team.tid_of_down_step(5, kvs, GEO) == C.NONE_TID
+
+    def test_ptr_from_tid(self):
+        kvs = make_chunk(GEO, [(10, 77)], max_key=10, nxt=88)
+        assert team.ptr_from_tid(0, kvs) == 77
+        assert team.ptr_from_tid(GEO.next_idx, kvs) == 88
+
+    def test_chunk_contains(self):
+        kvs = make_chunk(GEO, [(10, 0)], max_key=10)
+        assert team.chunk_contains(10, kvs, GEO)
+        assert not team.chunk_contains(11, kvs, GEO)
+
+    def test_index_of_key(self):
+        kvs = make_chunk(GEO, [(10, 0), (20, 1)], max_key=20)
+        assert team.index_of_key(20, kvs, GEO) == 1
+        assert team.index_of_key(99, kvs, GEO) == C.NONE_TID
+
+    def test_chunk_not_enclosing(self):
+        enc = make_chunk(GEO, [(10, 0)], max_key=50)
+        assert not team.chunk_not_enclosing(30, enc, GEO)
+        assert team.chunk_not_enclosing(51, enc, GEO)
+        zombie = make_chunk(GEO, [(10, 0)], max_key=50, lock=C.ZOMBIE)
+        assert team.chunk_not_enclosing(30, zombie, GEO)
+
+
+@given(st.lists(st.integers(1, 1000), min_size=1, max_size=GEO.dsize,
+                unique=True),
+       st.integers(1, 1001))
+def test_next_step_matches_reference(keys, k):
+    """On any sorted chunk, the cooperative decision equals the naive
+    reference computation."""
+    keys = sorted(keys)
+    kvs = make_chunk(GEO, [(key, 0) for key in keys], max_key=keys[-1],
+                     nxt=9)
+    step = team.tid_for_next_step(k, kvs, GEO)
+    if k > keys[-1]:
+        assert step == GEO.next_idx
+    elif k < keys[0]:
+        assert step == C.NONE_TID
+    else:
+        # largest key <= k
+        expect = max(i for i, key in enumerate(keys) if key <= k)
+        assert step == expect

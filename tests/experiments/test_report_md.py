@@ -1,0 +1,43 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import report_md
+
+
+def test_build_with_results(tmp_path):
+    (tmp_path / "table_5_1.txt").write_text("Table 5.1 rows here")
+    text = report_md.build(tmp_path)
+    assert "# EXPERIMENTS" in text
+    assert "Table 5.1 rows here" in text
+    assert "Known deviations" in text
+
+
+def test_build_missing_results_flagged(tmp_path):
+    text = report_md.build(tmp_path)
+    assert "no measured rows found" in text
+
+
+def test_every_section_has_commentary():
+    names = [name for name, _t, commentary in report_md.SECTIONS]
+    assert len(names) == len(set(names))
+    for _name, title, commentary in report_md.SECTIONS:
+        assert len(commentary) > 40, title
+
+
+def test_main_writes_file(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "fig_5_2.txt").write_text("ratio rows")
+    out = tmp_path / "EXP.md"
+    assert report_md.main([str(results), str(out)]) == 0
+    assert "ratio rows" in out.read_text()
+
+
+def test_sections_cover_all_tables_and_figures():
+    names = {name for name, _t, _c in report_md.SECTIONS}
+    for required in ("table_5_1", "table_5_2", "fig_5_1", "fig_5_2",
+                     "fig_5_3", "fig_5_4"):
+        assert required in names

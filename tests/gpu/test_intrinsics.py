@@ -1,0 +1,119 @@
+"""Unit + property tests for the warp intrinsics (ballot/shfl/clz)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu import intrinsics as intr
+
+
+class TestBallot:
+    def test_empty(self):
+        assert intr.ballot(np.zeros(8, dtype=bool)) == 0
+
+    def test_lane_bits(self):
+        flags = np.zeros(8, dtype=bool)
+        flags[0] = flags[3] = flags[7] = True
+        assert intr.ballot(flags) == (1 << 0) | (1 << 3) | (1 << 7)
+
+    def test_active_mask(self):
+        flags = np.ones(8, dtype=bool)
+        assert intr.ballot(flags, active_mask=0b1010) == 0b1010
+
+    def test_team_too_big(self):
+        with pytest.raises(ValueError):
+            intr.ballot(np.ones(33, dtype=bool))
+
+
+class TestClzLaneSelection:
+    def test_clz32(self):
+        assert intr.clz32(0) == 32
+        assert intr.clz32(1) == 31
+        assert intr.clz32(1 << 31) == 0
+        assert intr.clz32(0xFFFFFFFF) == 0
+
+    def test_highest_set_lane(self):
+        assert intr.highest_set_lane(0) == -1
+        assert intr.highest_set_lane(1) == 0
+        assert intr.highest_set_lane(0b1010) == 3
+        assert intr.highest_set_lane(1 << 31) == 31
+
+    def test_lowest_set_lane(self):
+        assert intr.lowest_set_lane(0) == -1
+        assert intr.lowest_set_lane(0b1010) == 1
+        assert intr.lowest_set_lane(1 << 31) == 31
+
+    def test_popc(self):
+        assert intr.popc(0) == 0
+        assert intr.popc(0b1011) == 3
+
+
+class TestShfl:
+    def test_broadcast(self):
+        vals = np.array([10, 20, 30, 40])
+        assert intr.shfl(vals, 2) == 30
+
+    def test_out_of_range_returns_default(self):
+        vals = np.array([1, 2, 3])
+        assert intr.shfl(vals, -1) == 0
+        assert intr.shfl(vals, 3) == 0
+
+    def test_shfl_up(self):
+        vals = np.array([1, 2, 3, 4])
+        out = intr.shfl_up(vals, 1)
+        assert list(out) == [1, 1, 2, 3]  # lane 0 keeps own value
+
+    def test_shfl_up_delta_two(self):
+        vals = np.array([1, 2, 3, 4])
+        assert list(intr.shfl_up(vals, 2)) == [1, 2, 1, 2]
+
+    def test_shfl_up_zero_delta_copies(self):
+        vals = np.array([5, 6])
+        out = intr.shfl_up(vals, 0)
+        assert list(out) == [5, 6]
+        out[0] = 99
+        assert vals[0] == 5  # copy, not view
+
+    def test_shfl_down(self):
+        vals = np.array([1, 2, 3, 4])
+        assert list(intr.shfl_down(vals, 1)) == [2, 3, 4, 4]
+
+
+class TestFullMask:
+    def test_values(self):
+        assert intr.full_mask(1) == 1
+        assert intr.full_mask(16) == 0xFFFF
+        assert intr.full_mask(32) == 0xFFFFFFFF
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            intr.full_mask(0)
+        with pytest.raises(ValueError):
+            intr.full_mask(33)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=32))
+def test_ballot_roundtrip(flags):
+    """Every flag is recoverable from its ballot bit."""
+    word = intr.ballot(np.array(flags, dtype=bool))
+    for i, f in enumerate(flags):
+        assert bool(word >> i & 1) == f
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=32))
+def test_lane_selection_consistent(flags):
+    """highest/lowest/popc agree with the plain-Python definition."""
+    word = intr.ballot(np.array(flags, dtype=bool))
+    true_lanes = [i for i, f in enumerate(flags) if f]
+    assert intr.popc(word) == len(true_lanes)
+    assert intr.highest_set_lane(word) == (true_lanes[-1] if true_lanes else -1)
+    assert intr.lowest_set_lane(word) == (true_lanes[0] if true_lanes else -1)
+
+
+@given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=32),
+       st.integers(0, 31))
+def test_shfl_matches_indexing(vals, lane):
+    arr = np.array(vals, dtype=np.int64)
+    expected = vals[lane] if lane < len(vals) else 0
+    assert intr.shfl(arr, lane) == expected

@@ -1,0 +1,97 @@
+"""Unit tests for simulated global memory."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import WORD_BYTES, GlobalMemory
+
+
+class TestBasics:
+    def test_initial_zero(self):
+        mem = GlobalMemory(16)
+        assert all(mem.read_word(i) == 0 for i in range(16))
+
+    def test_sizes(self):
+        mem = GlobalMemory(100)
+        assert mem.num_words == 100
+        assert mem.num_bytes == 100 * WORD_BYTES
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            GlobalMemory(0)
+        with pytest.raises(ValueError):
+            GlobalMemory(-5)
+
+    def test_write_read_roundtrip(self):
+        mem = GlobalMemory(8)
+        mem.write_word(3, 0xDEADBEEF12345678)
+        assert mem.read_word(3) == 0xDEADBEEF12345678
+
+    def test_write_truncates_to_64_bits(self):
+        mem = GlobalMemory(4)
+        mem.write_word(0, (1 << 64) + 5)
+        assert mem.read_word(0) == 5
+
+    def test_out_of_bounds(self):
+        mem = GlobalMemory(4)
+        with pytest.raises(IndexError):
+            mem.read_word(4)
+        with pytest.raises(IndexError):
+            mem.read_word(-1)
+        with pytest.raises(IndexError):
+            mem.write_word(100, 1)
+        with pytest.raises(IndexError):
+            mem.read_range(2, 3)
+
+
+class TestAtomics:
+    def test_cas_success_returns_old(self):
+        mem = GlobalMemory(4)
+        mem.write_word(0, 7)
+        old = mem.cas_word(0, 7, 9)
+        assert old == 7
+        assert mem.read_word(0) == 9
+
+    def test_cas_failure_leaves_value(self):
+        mem = GlobalMemory(4)
+        mem.write_word(0, 7)
+        old = mem.cas_word(0, 8, 9)
+        assert old == 7
+        assert mem.read_word(0) == 7
+
+    def test_atomic_add_returns_old(self):
+        mem = GlobalMemory(4)
+        mem.write_word(1, 10)
+        assert mem.atomic_add(1, 5) == 10
+        assert mem.read_word(1) == 15
+
+    def test_atomic_add_wraps_64_bits(self):
+        mem = GlobalMemory(4)
+        mem.write_word(0, (1 << 64) - 1)
+        mem.atomic_add(0, 2)
+        assert mem.read_word(0) == 1
+
+    def test_atomic_exch(self):
+        mem = GlobalMemory(4)
+        mem.write_word(2, 42)
+        assert mem.atomic_exch(2, 99) == 42
+        assert mem.read_word(2) == 99
+
+
+class TestRanges:
+    def test_read_range_is_snapshot(self):
+        mem = GlobalMemory(8)
+        mem.write_range(0, np.arange(8, dtype=np.uint64))
+        snap = mem.read_range(2, 3)
+        mem.write_word(3, 999)
+        assert list(snap) == [2, 3, 4]  # unchanged copy
+
+    def test_write_range(self):
+        mem = GlobalMemory(8)
+        mem.write_range(4, np.array([9, 8, 7], dtype=np.uint64))
+        assert [mem.read_word(i) for i in (4, 5, 6)] == [9, 8, 7]
+
+    def test_raw_is_live_view(self):
+        mem = GlobalMemory(8)
+        mem.raw()[5] = np.uint64(77)
+        assert mem.read_word(5) == 77

@@ -1,0 +1,94 @@
+"""Tests for the occupancy/register/spill model against Tables 5.1/5.2."""
+
+import pytest
+
+from repro.baseline import MC_KERNEL
+from repro.core import GFSL_KERNEL
+from repro.gpu.device import DeviceConfig, LaunchConfig
+from repro.gpu.occupancy import KernelResources, compute_occupancy
+
+DEV = DeviceConfig.gtx970()
+
+
+class TestGFSLTable51Rows:
+    """The register/blocks columns of Table 5.1 must reproduce exactly
+    from the occupancy calculator."""
+
+    @pytest.mark.parametrize("wpb,regs,blocks", [
+        (16, 64, 2), (24, 40, 2), (32, 32, 2),
+    ])
+    def test_register_allocation(self, wpb, regs, blocks):
+        occ = compute_occupancy(DEV, LaunchConfig(warps_per_block=wpb),
+                                GFSL_KERNEL)
+        assert occ.allocated_regs == regs
+        assert occ.active_blocks == blocks
+
+    def test_8_warps_three_blocks_no_spill(self):
+        occ = compute_occupancy(DEV, LaunchConfig(warps_per_block=8),
+                                GFSL_KERNEL)
+        assert occ.active_blocks == 3
+        assert occ.allocated_regs >= 79 - 7  # full demand within slack
+        assert occ.spill_fraction == 0.0
+
+    @pytest.mark.parametrize("wpb,theo", [
+        (8, 0.375), (16, 0.50), (24, 0.75), (32, 1.00),
+    ])
+    def test_theoretical_occupancy(self, wpb, theo):
+        occ = compute_occupancy(DEV, LaunchConfig(warps_per_block=wpb),
+                                GFSL_KERNEL)
+        assert occ.theoretical_occupancy == pytest.approx(theo)
+
+    def test_spill_grows_with_warps(self):
+        spills = [compute_occupancy(DEV, LaunchConfig(warps_per_block=w),
+                                    GFSL_KERNEL).spill_fraction
+                  for w in (8, 16, 24, 32)]
+        assert spills == sorted(spills)
+        assert spills[0] == 0.0 and spills[-1] > 0.4
+
+
+class TestMCTable52Rows:
+    def test_8_warps_five_blocks(self):
+        occ = compute_occupancy(DEV, LaunchConfig(warps_per_block=8),
+                                MC_KERNEL)
+        assert occ.active_blocks == 5
+        assert occ.allocated_regs >= 40
+
+    def test_16_warps(self):
+        occ = compute_occupancy(DEV, LaunchConfig(warps_per_block=16),
+                                MC_KERNEL)
+        assert occ.active_blocks == 2
+        assert occ.allocated_regs >= 42 - 7
+
+    def test_intrinsic_spill_declared(self):
+        # Table 5.2: ~23% spillover at every shape (local path arrays).
+        assert MC_KERNEL.intrinsic_spill == pytest.approx(0.23)
+
+
+class TestLimits:
+    def test_warp_limit_caps_blocks(self):
+        k = KernelResources(regs_demanded=16)
+        occ = compute_occupancy(DEV, LaunchConfig(warps_per_block=32), k)
+        assert occ.active_blocks <= DEV.max_warps_per_sm // 32
+
+    def test_tiny_kernel_full_occupancy(self):
+        k = KernelResources(regs_demanded=24)
+        occ = compute_occupancy(DEV, LaunchConfig(warps_per_block=32), k)
+        assert occ.theoretical_occupancy == 1.0
+        assert occ.spill_fraction == 0.0
+
+    def test_huge_demand_still_one_block(self):
+        k = KernelResources(regs_demanded=255)
+        occ = compute_occupancy(DEV, LaunchConfig(warps_per_block=32), k)
+        assert occ.active_blocks >= 1
+        assert occ.spill_fraction > 0.5
+
+    def test_spill_accesses_scale_with_deficit(self):
+        k = KernelResources(regs_demanded=100, spill_accesses_per_reg=1.0)
+        o16 = compute_occupancy(DEV, LaunchConfig(warps_per_block=16), k)
+        o32 = compute_occupancy(DEV, LaunchConfig(warps_per_block=32), k)
+        assert o32.spill_accesses_per_op > o16.spill_accesses_per_op
+
+    def test_active_warps(self):
+        occ = compute_occupancy(DEV, LaunchConfig(warps_per_block=16),
+                                GFSL_KERNEL)
+        assert occ.active_warps_per_sm == occ.active_blocks * 16

@@ -1,0 +1,165 @@
+"""Tests for the event executor and the interleaving scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import events as ev
+from repro.gpu.device import DeviceConfig
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.scheduler import (DeviceFault, InterleavingScheduler,
+                                 execute_event, run_to_completion)
+from repro.gpu.tracer import TransactionTracer
+
+
+def setup():
+    mem = GlobalMemory(256)
+    tracer = TransactionTracer(DeviceConfig.gtx970())
+    return mem, tracer
+
+
+class TestExecuteEvent:
+    def test_chunk_read(self):
+        mem, t = setup()
+        mem.write_word(3, 42)
+        out = execute_event(ev.ChunkRead(0, 8), mem, t)
+        assert out[3] == 42
+        assert t.stats.coalesced_accesses == 1
+
+    def test_chunk_write(self):
+        mem, t = setup()
+        execute_event(ev.ChunkWrite(4, (7, 8, 9)), mem, t)
+        assert [mem.read_word(i) for i in (4, 5, 6)] == [7, 8, 9]
+
+    def test_word_ops(self):
+        mem, t = setup()
+        execute_event(ev.WordWrite(0, 5), mem, t)
+        assert execute_event(ev.WordRead(0), mem, t) == 5
+        assert execute_event(ev.WordCAS(0, 5, 6), mem, t) == 5
+        assert execute_event(ev.AtomicAdd(0, 4), mem, t) == 6
+        assert execute_event(ev.AtomicExch(0, 1), mem, t) == 10
+        assert t.stats.atomic_ops == 3
+
+    def test_compute_and_spill(self):
+        mem, t = setup()
+        execute_event(ev.Compute(7, divergent=True), mem, t)
+        execute_event(ev.SpillAccess(3), mem, t)
+        assert t.stats.instructions == 7
+        assert t.stats.divergent_instructions == 7
+        assert t.stats.spill_accesses == 3
+
+    def test_gather_read_coalesces_same_line(self):
+        mem, t = setup()
+        mem.write_word(1, 11)
+        mem.write_word(2, 22)
+        out = execute_event(ev.GatherRead((1, 2)), mem, t)
+        assert out == [11, 22]
+        assert t.stats.transactions == 1  # one line
+
+    def test_gather_read_distinct_lines(self):
+        mem, t = setup()
+        execute_event(ev.GatherRead((0, 16, 32)), mem, t)
+        assert t.stats.transactions == 3
+        assert t.stats.dram_scattered == 3
+
+    def test_unknown_event(self):
+        mem, t = setup()
+        with pytest.raises(DeviceFault):
+            execute_event(object(), mem, t)
+
+    def test_no_tracer_still_executes(self):
+        mem, _ = setup()
+        execute_event(ev.WordWrite(0, 9), mem, None)
+        assert execute_event(ev.WordRead(0), mem, None) == 9
+
+
+def counter_task(mem, addr, n):
+    """Increment a word n times via read+CAS."""
+    done = 0
+    while done < n:
+        old = yield ev.WordRead(addr)
+        got = yield ev.WordCAS(addr, old, old + 1)
+        if got == old:
+            done += 1
+    return done
+
+
+class TestRunToCompletion:
+    def test_return_value(self):
+        mem, t = setup()
+        assert run_to_completion(counter_task(mem, 0, 5), mem, t) == 5
+        assert mem.read_word(0) == 5
+
+
+class TestInterleavingScheduler:
+    def test_results_ordered_by_spawn(self):
+        mem, t = setup()
+
+        def task(val, steps):
+            for _ in range(steps):
+                yield ev.Compute(1)
+            return val
+
+        sched = InterleavingScheduler(mem, t)
+        sched.spawn(task("a", 5))
+        sched.spawn(task("b", 1))
+        sched.spawn(task("c", 3))
+        results = sched.run()
+        assert [r.value for r in results] == ["a", "b", "c"]
+        assert [r.steps for r in results] == [5, 1, 3]
+
+    def test_concurrent_cas_increments_all_land(self):
+        """Racing CAS counters never lose an increment."""
+        mem, t = setup()
+        sched = InterleavingScheduler(mem, t, seed=11)
+        for _ in range(10):
+            sched.spawn(counter_task(mem, 0, 7))
+        sched.run()
+        assert mem.read_word(0) == 70
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            mem = GlobalMemory(64)
+            sched = InterleavingScheduler(mem, None, seed=5)
+            for i in range(4):
+                sched.spawn(counter_task(mem, 0, 3))
+            res = sched.run()
+            return [r.steps for r in res]
+        assert run_once() == run_once()
+
+    def test_round_robin_without_seed_is_fair(self):
+        """A spin-waiter makes progress because the writer is scheduled."""
+        mem, t = setup()
+
+        def writer():
+            for _ in range(3):
+                yield ev.Compute(1)
+            yield ev.WordWrite(7, 1)
+            return "wrote"
+
+        def waiter():
+            while True:
+                v = yield ev.WordRead(7)
+                if v == 1:
+                    return "saw"
+
+        sched = InterleavingScheduler(mem, t)
+        sched.spawn(waiter())
+        sched.spawn(writer())
+        res = sched.run()
+        assert [r.value for r in res] == ["saw", "wrote"]
+
+    def test_max_steps_guards_livelock(self):
+        mem, t = setup()
+
+        def spin_forever():
+            while True:
+                yield ev.WordRead(0)
+
+        sched = InterleavingScheduler(mem, t, max_steps=100)
+        sched.spawn(spin_forever())
+        with pytest.raises(DeviceFault):
+            sched.run()
+
+    def test_empty_run(self):
+        mem, t = setup()
+        assert InterleavingScheduler(mem, t).run() == []

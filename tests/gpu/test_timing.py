@@ -1,0 +1,143 @@
+"""Tests for the three-bound cycle model."""
+
+import pytest
+
+from repro.gpu.device import DeviceConfig, LaunchConfig
+from repro.gpu.occupancy import KernelResources, compute_occupancy
+from repro.gpu.timing import CostModel
+from repro.gpu.tracer import TraceStats
+
+DEV = DeviceConfig.gtx970()
+KERNEL = KernelResources(regs_demanded=32, lanes_per_op=32)
+
+
+def occ_for(wpb=16, kernel=KERNEL):
+    return compute_occupancy(DEV, LaunchConfig(warps_per_block=wpb), kernel)
+
+
+def evaluate(stats, ops=100, kernel=KERNEL, wpb=16, extra=0.0):
+    return CostModel(DEV).evaluate(stats, occ_for(wpb, kernel), ops,
+                                   kernel=kernel, extra_serial_cycles=extra)
+
+
+class TestBounds:
+    def test_issue_bound(self):
+        stats = TraceStats(instructions=130_000)
+        t = evaluate(stats)
+        assert t.bottleneck == "issue"
+        assert t.issue_cycles == pytest.approx(10_000)
+
+    def test_bandwidth_bound(self):
+        # Scattered DRAM traffic with thread-level parallelism: service
+        # dominates (the M&C melt-down regime).
+        stats = TraceStats(transactions=50_000, dram_transactions=50_000,
+                           dram_scattered=50_000)
+        k = KernelResources(regs_demanded=32, lanes_per_op=1)
+        t = evaluate(stats, kernel=k)
+        assert t.bottleneck == "bandwidth"
+        assert t.bandwidth_cycles == pytest.approx(
+            50_000 * DEV.dram_scattered_service / DEV.num_sms)
+
+    def test_latency_bound_low_occupancy(self):
+        stats = TraceStats(transactions=2_000, dram_transactions=2_000,
+                           dram_coalesced=2_000)
+        k = KernelResources(regs_demanded=255, lanes_per_op=32)
+        t = CostModel(DEV).evaluate(
+            stats, compute_occupancy(DEV, LaunchConfig(warps_per_block=8), k),
+            ops=10, kernel=k)
+        # 1 block of 8 warps resident → little latency hiding.
+        assert t.latency_cycles > 0
+
+    def test_scattered_dram_costs_more_bandwidth(self):
+        coal = TraceStats(transactions=1000, dram_transactions=1000,
+                          dram_coalesced=1000)
+        scat = TraceStats(transactions=1000, dram_transactions=1000,
+                          dram_scattered=1000)
+        assert (evaluate(scat).bandwidth_cycles
+                > evaluate(coal).bandwidth_cycles)
+
+    def test_tlb_misses_add_cost(self):
+        base = TraceStats(transactions=100, dram_transactions=100,
+                          dram_coalesced=100)
+        with_tlb = TraceStats(transactions=100, dram_transactions=100,
+                              dram_coalesced=100, tlb_misses=500)
+        assert evaluate(with_tlb).cycles > evaluate(base).cycles
+
+
+class TestKernelEffects:
+    def test_op_overhead_adds_issue(self):
+        stats = TraceStats(instructions=100)
+        k = KernelResources(regs_demanded=32, op_overhead_instructions=50)
+        t = evaluate(stats, ops=100, kernel=k)
+        base = evaluate(stats, ops=100)
+        assert t.issue_cycles > base.issue_cycles
+
+    def test_divergence_replay_inflates_issue(self):
+        stats = TraceStats(instructions=1000, divergent_instructions=1000)
+        k = KernelResources(regs_demanded=32, divergence_replay=3.0)
+        assert (evaluate(stats, kernel=k).issue_cycles
+                == pytest.approx(3 * evaluate(stats).issue_cycles))
+
+    def test_lanes_per_op_boosts_latency_hiding(self):
+        stats = TraceStats(transactions=10_000, dram_transactions=10_000,
+                           dram_coalesced=10_000)
+        team = evaluate(stats)  # lanes_per_op=32: 1 op/warp
+        k1 = KernelResources(regs_demanded=32, lanes_per_op=1)
+        thread = evaluate(stats, kernel=k1)
+        assert thread.latency_cycles <= team.latency_cycles
+
+    def test_mshr_caps_parallelism(self):
+        """Beyond the MSHR limit, extra thread-level ops stop helping."""
+        stats = TraceStats(transactions=10_000, dram_transactions=10_000,
+                           dram_scattered=10_000)
+        k1 = KernelResources(regs_demanded=32, lanes_per_op=1)
+        t = evaluate(stats, kernel=k1, wpb=16)
+        expected_parallelism = DEV.mshr_per_sm * DEV.num_sms
+        assert t.latency_cycles == pytest.approx(
+            10_000 * DEV.dram_latency / expected_parallelism)
+
+    def test_intrinsic_spill_adds_traffic(self):
+        stats = TraceStats(transactions=1000, l2_hit_transactions=1000,
+                           l2_coalesced=1000)
+        k = KernelResources(regs_demanded=32, intrinsic_spill=0.5)
+        t = evaluate(stats, kernel=k)
+        assert t.spill_traffic_fraction == pytest.approx(0.5, abs=0.01)
+
+    def test_low_occupancy_issue_penalty(self):
+        stats = TraceStats(instructions=130_000)
+        k = KernelResources(regs_demanded=200)
+        low = CostModel(DEV).evaluate(
+            stats, compute_occupancy(DEV, LaunchConfig(warps_per_block=8), k),
+            ops=10, kernel=k)
+        high = evaluate(stats)
+        assert low.issue_cycles > high.issue_cycles
+
+
+class TestOutputs:
+    def test_mops(self):
+        stats = TraceStats(instructions=13_000)
+        t = evaluate(stats, ops=1000)
+        # 1000 cycles at 1050 MHz for 1000 ops → 1050 MOPS.
+        assert t.mops == pytest.approx(1050.0, rel=0.01)
+
+    def test_extra_serial_cycles_reduce_mops(self):
+        stats = TraceStats(instructions=13_000)
+        assert (evaluate(stats, extra=5000).mops
+                < evaluate(stats).mops)
+
+    def test_zero_ops(self):
+        t = evaluate(TraceStats(), ops=0)
+        assert t.mops == 0.0 or t.mops != t.mops  # 0 or nan-safe
+
+    def test_achieved_occupancy_below_theoretical(self):
+        stats = TraceStats(transactions=10_000, dram_transactions=10_000,
+                           dram_scattered=10_000, instructions=100)
+        t = evaluate(stats)
+        assert t.achieved_occupancy < occ_for().theoretical_occupancy
+
+    def test_more_dram_lowers_mops(self):
+        a = TraceStats(transactions=1000, l2_hit_transactions=1000,
+                       l2_coalesced=1000, instructions=1000)
+        b = TraceStats(transactions=1000, dram_transactions=1000,
+                       dram_coalesced=1000, instructions=1000)
+        assert evaluate(b).mops <= evaluate(a).mops

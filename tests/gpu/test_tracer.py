@@ -1,0 +1,128 @@
+"""Tests for transaction accounting: coalescing, classification, TLB."""
+
+import pytest
+
+from repro.gpu.device import DeviceConfig
+from repro.gpu.tracer import TraceStats, TransactionTracer
+
+
+def make_tracer(**kw):
+    return TransactionTracer(DeviceConfig.gtx970())
+
+
+class TestCoalescing:
+    def test_single_line_chunk_read(self):
+        """A 16-entry chunk (128 B) is one transaction — the GFSL-16
+        design point."""
+        t = make_tracer()
+        assert t.access_words(0, 16, coalesced=True) == 1
+
+    def test_two_line_chunk_read(self):
+        """A 32-entry chunk (256 B) is two transactions — GFSL-32."""
+        t = make_tracer()
+        assert t.access_words(0, 32, coalesced=True) == 2
+
+    def test_unaligned_read_spans_extra_line(self):
+        t = make_tracer()
+        assert t.access_words(8, 16, coalesced=True) == 2
+
+    def test_scalar_read_one_transaction(self):
+        t = make_tracer()
+        assert t.access_words(5, 1, coalesced=False) == 1
+
+    def test_lines_of(self):
+        t = make_tracer()
+        assert list(t.lines_of(0, 16)) == [0]
+        assert list(t.lines_of(16, 16)) == [1]
+        assert list(t.lines_of(15, 2)) == [0, 1]
+
+
+class TestClassification:
+    def test_miss_then_hit(self):
+        t = make_tracer()
+        t.access_words(0, 16, coalesced=True)
+        t.access_words(0, 16, coalesced=True)
+        s = t.stats
+        assert s.dram_transactions == 1
+        assert s.l2_hit_transactions == 1
+        assert s.transactions == 2
+
+    def test_scattered_vs_coalesced_split(self):
+        t = make_tracer()
+        t.access_words(0, 16, coalesced=True)     # miss, coalesced
+        t.access_words(1000, 1, coalesced=False)  # miss, scattered
+        t.access_words(0, 16, coalesced=True)     # hit, coalesced
+        t.access_words(1000, 1, coalesced=False)  # hit, scattered
+        s = t.stats
+        assert s.dram_coalesced == 1 and s.dram_scattered == 1
+        assert s.l2_coalesced == 1 and s.l2_scattered == 1
+
+    def test_access_kind_counters(self):
+        t = make_tracer()
+        t.access_words(0, 16, coalesced=True)
+        t.access_words(99, 1, coalesced=False, atomic=True)
+        s = t.stats
+        assert s.coalesced_accesses == 1
+        assert s.scalar_accesses == 1
+        assert s.atomic_ops == 1
+        assert s.bytes_requested == (16 + 1) * 8
+
+
+class TestTLB:
+    def test_first_touch_misses(self):
+        t = make_tracer()
+        t.access_words(0, 1, coalesced=False)
+        assert t.stats.tlb_misses == 1
+        t.access_words(1, 1, coalesced=False)  # same page
+        assert t.stats.tlb_misses == 1
+
+    def test_capacity_eviction(self):
+        t = make_tracer()
+        page_words = t.tlb_page_words
+        for i in range(t.tlb_entries + 1):
+            t.access_words(i * page_words, 1, coalesced=False)
+        misses = t.stats.tlb_misses
+        t.access_words(0, 1, coalesced=False)  # page 0 was evicted (LRU)
+        assert t.stats.tlb_misses == misses + 1
+
+    def test_reset_clears_tlb(self):
+        t = make_tracer()
+        t.access_words(0, 1, coalesced=False)
+        t.reset_stats()
+        t.access_words(0, 1, coalesced=False)
+        assert t.stats.tlb_misses == 1
+
+
+class TestHelpers:
+    def test_compute_and_spill(self):
+        t = make_tracer()
+        t.record_compute(5)
+        t.record_compute(3, divergent=True)
+        t.record_spill(2)
+        t.record_atomic_conflicts(4)
+        s = t.stats
+        assert s.instructions == 8
+        assert s.divergent_instructions == 3
+        assert s.spill_accesses == 2
+        assert s.atomic_conflicts == 4
+
+    def test_merge(self):
+        a = TraceStats(transactions=2, dram_transactions=1, instructions=10)
+        b = TraceStats(transactions=3, l2_hit_transactions=3, instructions=1)
+        a.merge(b)
+        assert a.transactions == 5
+        assert a.dram_transactions == 1
+        assert a.l2_hit_transactions == 3
+        assert a.instructions == 11
+
+    def test_hit_rate(self):
+        s = TraceStats(transactions=4, l2_hit_transactions=3)
+        assert s.l2_hit_rate == 0.75
+        assert TraceStats().l2_hit_rate == 0.0
+
+    def test_warm_words(self):
+        t = make_tracer()
+        t.warm_words(0, 64)
+        t.access_words(0, 16, coalesced=True)
+        assert t.stats.l2_hit_transactions == 1
+        assert t.stats.dram_transactions == 0

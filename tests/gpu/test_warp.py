@@ -1,0 +1,154 @@
+"""Tests for the warp-lockstep executor."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import events as ev
+from repro.gpu.device import DeviceConfig
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.tracer import TransactionTracer
+from repro.gpu.warp import WarpExecutor, run_in_warps
+
+
+def setup(words=1024):
+    mem = GlobalMemory(words)
+    tracer = TransactionTracer(DeviceConfig.gtx970())
+    return mem, tracer
+
+
+def reader(addr, n=1):
+    def gen():
+        total = 0
+        for i in range(n):
+            total += (yield ev.WordRead(addr + i * 16))
+        return total
+    return gen()
+
+
+class TestLockstep:
+    def test_results_in_lane_order(self):
+        mem, t = setup()
+        for i in range(4):
+            mem.write_word(i * 16, i * 10)
+        wx = WarpExecutor(mem, t)
+        results = wx.run_warp([reader(i * 16) for i in range(4)])
+        assert results == [0, 10, 20, 30]
+
+    def test_same_line_loads_coalesce(self):
+        """32 lanes reading the same line → one transaction (the M&C
+        head-node case)."""
+        mem, t = setup()
+        mem.write_word(5, 99)
+        wx = WarpExecutor(mem, t)
+        results = wx.run_warp([reader(5) for _ in range(32)])
+        assert results == [99] * 32
+        assert t.stats.transactions == 1
+        assert wx.stats.coalesced_lane_requests == 31
+
+    def test_distinct_line_loads_do_not_coalesce(self):
+        mem, t = setup()
+        wx = WarpExecutor(mem, t)
+        wx.run_warp([reader(i * 16) for i in range(8)])
+        assert t.stats.transactions == 8
+        assert wx.stats.coalesced_lane_requests == 0
+
+    def test_uniform_steps_no_divergence(self):
+        mem, t = setup()
+        wx = WarpExecutor(mem, t)
+        wx.run_warp([reader(i * 16, n=3) for i in range(4)])
+        assert wx.stats.divergent_replays == 0
+
+    def test_mixed_kinds_count_divergence(self):
+        mem, t = setup()
+
+        def writer():
+            yield ev.WordWrite(0, 1)
+            return "w"
+
+        def computer():
+            yield ev.Compute(1)
+            return "c"
+
+        wx = WarpExecutor(mem, t)
+        out = wx.run_warp([writer(), computer()])
+        assert out == ["w", "c"]
+        assert wx.stats.divergent_replays == 1
+        assert wx.stats.divergence_ratio == 1.0
+
+    def test_uneven_lane_lengths(self):
+        mem, t = setup()
+        wx = WarpExecutor(mem, t)
+        out = wx.run_warp([reader(0, n=1), reader(16, n=5)])
+        assert out == [0, 0]
+
+    def test_atomic_conflicts_detected(self):
+        mem, t = setup()
+
+        def bump():
+            old = yield ev.AtomicAdd(7, 1)
+            return old
+
+        wx = WarpExecutor(mem, t)
+        outs = wx.run_warp([bump() for _ in range(4)])
+        assert sorted(outs) == [0, 1, 2, 3]  # atomicity preserved
+        assert mem.read_word(7) == 4
+        assert wx.stats.atomic_conflicts == 3
+
+    def test_atomics_to_distinct_addresses_no_conflict(self):
+        mem, t = setup()
+
+        def bump(a):
+            yield ev.AtomicAdd(a, 1)
+
+        wx = WarpExecutor(mem, t)
+        wx.run_warp([bump(i) for i in range(4)])
+        assert wx.stats.atomic_conflicts == 0
+
+    def test_warp_size_bounds(self):
+        mem, t = setup()
+        with pytest.raises(ValueError):
+            WarpExecutor(mem, t, warp_size=0)
+        wx = WarpExecutor(mem, t, warp_size=2)
+        with pytest.raises(ValueError):
+            wx.run_warp([reader(0), reader(16), reader(32)])
+
+    def test_no_tracer_mode(self):
+        mem, _ = setup()
+        mem.write_word(0, 5)
+        wx = WarpExecutor(mem, None)
+        assert wx.run_warp([reader(0)]) == [5]
+
+
+class TestRunInWarps:
+    def test_partitions_and_orders(self):
+        mem, t = setup()
+        for i in range(10):
+            mem.write_word(i * 16, i)
+        results, stats = run_in_warps([reader(i * 16) for i in range(10)],
+                                      mem, t, warp_size=4)
+        assert results == list(range(10))
+        assert stats.steps > 0
+
+    def test_mc_ops_preserve_semantics_in_lockstep(self):
+        """Full M&C operations through the warp engine behave like the
+        sequential engine."""
+        from repro.baseline import MCSkiplist
+        mc = MCSkiplist(capacity_words=200_000, seed=1)
+        keys = list(range(10, 330, 10))
+        gens = [mc.insert_gen(k) for k in keys]
+        results, stats = run_in_warps(gens, mc.ctx.mem, mc.ctx.tracer)
+        assert all(results)
+        assert mc.keys() == sorted(keys)
+        # Traversals share the head tower: lane requests must coalesce.
+        assert stats.coalesced_lane_requests > 0
+
+    def test_gfsl_team_ops_in_warp_engine(self):
+        """GFSL ops are team-wide (one per warp on hardware) but must
+        still run correctly side by side under the lockstep engine."""
+        from repro.core import GFSL
+        sl = GFSL(capacity_chunks=256, team_size=16, seed=2)
+        keys = list(range(5, 165, 5))
+        results, _ = run_in_warps([sl.insert_gen(k) for k in keys],
+                                  sl.ctx.mem, sl.ctx.tracer, warp_size=8)
+        assert all(results)
+        assert sl.keys() == sorted(keys)

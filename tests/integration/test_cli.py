@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_point_defaults(self):
+        args = build_parser().parse_args(["point"])
+        assert args.structure == "gfsl"
+        assert args.range == 1_000_000
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants" in out
+
+    def test_point_gfsl(self, capsys):
+        assert main(["point", "--range", "5000", "--ops", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "MOPS" in out and "GFSL-32" in out
+
+    def test_point_mc(self, capsys):
+        assert main(["point", "--structure", "mc", "--range", "5000",
+                     "--ops", "150"]) == 0
+        assert "M&C" in capsys.readouterr().out
+
+    def test_point_mc_oom(self, capsys):
+        assert main(["point", "--structure", "mc", "--range", "50000000",
+                     "--ops", "10"]) == 0
+        assert "OOM" in capsys.readouterr().out
+
+    def test_stress_clean(self, capsys):
+        assert main(["stress", "--range", "800", "--ops", "250",
+                     "--seed", "3"]) == 0
+        assert "stress OK" in capsys.readouterr().out
+
+    def test_table(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["table", "5.1"]) == 0
+        assert "warps/blk" in capsys.readouterr().out
+
+    def test_table_unknown(self, capsys):
+        assert main(["table", "9.9"]) == 2
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "9.9"]) == 2
+
+    def test_figure_5_1(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["figure", "5.1"]) == 0
+        assert "GFSL-32" in capsys.readouterr().out

@@ -1,0 +1,34 @@
+"""Every example script must run clean — they are the library's
+documentation of record."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "kv_store.py",
+    "priority_queue.py",
+    "throughput_comparison.py",
+    "concurrent_torture.py",
+    "occupancy_explorer.py",
+])
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_torture_accepts_seed():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "concurrent_torture.py"), "7"],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0
+    assert "torture survived" in proc.stdout
