@@ -6,7 +6,6 @@ height much) and "in all operation mixtures tested the best results were
 received for p_key = 0.5" for M&C.
 """
 
-import pytest
 
 from conftest import save_result
 from repro.analysis import render_table

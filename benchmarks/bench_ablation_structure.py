@@ -8,7 +8,6 @@
 * the Contains-restart rate claim (§4.2.1).
 """
 
-import pytest
 
 from conftest import save_result
 from repro.analysis import render_table

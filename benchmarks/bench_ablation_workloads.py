@@ -10,12 +10,10 @@
   sparse chunks and lengthens traversals.
 """
 
-import pytest
 
 from conftest import save_result
 from repro.analysis import render_table
-from repro.core import GFSL, suggest_capacity, validate_structure
-from repro.core.bulk import bulk_build_into
+from repro.core import GFSL, validate_structure
 from repro.workloads import MIX_10_10_80, generate, run_workload
 
 

@@ -9,7 +9,6 @@ fails only on claims that must hold at the current scale.
 
 import math
 
-import pytest
 
 from conftest import cached_series, mops_of, ratios, save_result
 from repro.analysis import render_table

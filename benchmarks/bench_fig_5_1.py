@@ -5,9 +5,7 @@ outperforms GFSL-16 by up to 28% in the higher ranges (despite GFSL-16's
 single-transaction chunks), and both beat M&C beyond the L2 regime.
 """
 
-import math
 
-import pytest
 
 from conftest import cached_series, mops_of, save_result
 from repro.analysis import render_series

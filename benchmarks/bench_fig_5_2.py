@@ -7,7 +7,6 @@ then ahead by 27%–1064% in the higher ranges; at 10M the speedup is
 
 import math
 
-import pytest
 
 from conftest import cached_series, ratios, save_result
 from repro.analysis import render_series

@@ -8,7 +8,6 @@ ranges that deepens with the update percentage.
 
 import math
 
-import pytest
 
 from conftest import cached_series, mops_of, save_result
 from repro.analysis import render_series

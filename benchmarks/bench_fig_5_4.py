@@ -8,7 +8,6 @@ tests run only to the 3M range before exhausting device memory.
 
 import math
 
-import pytest
 
 from conftest import cached_series, mops_of, ratios, save_result
 from repro.analysis import render_series

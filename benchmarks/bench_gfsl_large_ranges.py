@@ -9,7 +9,6 @@ confirming M&C's paper-scale allocation cannot fit; at smaller scales
 it checks the memory arithmetic only.
 """
 
-import math
 import os
 
 import pytest

@@ -5,7 +5,6 @@ Paper row (MOPS @ [10,10,80], 1M keys): 8→58.9, 16→65.7, 24→62.5,
 between latency-hiding parallelism and register spillover.
 """
 
-import pytest
 
 from conftest import save_result
 from repro.experiments import paper_data, tables

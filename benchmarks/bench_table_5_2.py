@@ -7,7 +7,6 @@ by SM resources, and its local path arrays spill (~23-25%) at every
 launch shape.
 """
 
-import pytest
 
 from conftest import save_result
 from repro.experiments import paper_data, tables

@@ -7,7 +7,6 @@ the lanes' pointer chases scatter again.  The benchmark quantifies both
 effects against the per-op accounting the headline numbers use.
 """
 
-import pytest
 
 from conftest import save_result
 from repro.analysis import render_table

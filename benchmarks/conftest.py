@@ -10,7 +10,6 @@ figures (5.2 and 5.3 plot the same runs) are cached per session.
 from __future__ import annotations
 
 import functools
-import os
 import pathlib
 
 import pytest

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.gfsl import OpStats
 from ..gpu import events as ev
 from ..gpu.device import DeviceConfig
 from ..gpu.kernel import GPUContext
@@ -56,6 +57,10 @@ class MCSkiplist:
             ctx = GPUContext(base + capacity_words, device=device)
         self.ctx = ctx
         self.rng = np.random.default_rng(seed)
+        # Same operation-level counters as GFSL (restart counts map onto
+        # _find retries) so both structures satisfy the engine's
+        # ConcurrentMap protocol and report comparable op accounting.
+        self.op_stats = OpStats()
         self._format()
 
     # ------------------------------------------------------------------
@@ -133,6 +138,7 @@ class MCSkiplist:
                 preds[level] = pred
                 succs[level] = curr
             if retry:
+                self.op_stats.update_restarts += 1
                 continue
             found_key = yield from self._key_of(succs[0])
             return found_key == key, preds, succs
@@ -141,6 +147,7 @@ class MCSkiplist:
     def contains_gen(self, key: int):
         """Wait-free membership test (no snipping)."""
         self._check_key(key)
+        self.op_stats.contains_calls += 1
         pred = self.head
         curr = N.NULL_PTR
         for level in range(self.max_level - 1, -1, -1):
@@ -182,6 +189,7 @@ class MCSkiplist:
             if old != N.pack_link(succs[0]):
                 continue  # bottom CAS lost: retry whole insert (node leaks,
                 #            matching the GPU port's no-reclamation design)
+            self.op_stats.inserts += 1
             # Link the upper levels.
             for l in range(1, top):
                 while True:
@@ -230,6 +238,7 @@ class MCSkiplist:
             old = yield ev.WordCAS(self._link_addr(node, 0), word,
                                    word | N.MARK_BIT)
             if old == word:
+                self.op_stats.deletes += 1
                 yield from self._find(key)  # physical snip
                 return True
 
@@ -245,6 +254,13 @@ class MCSkiplist:
     def delete(self, key: int) -> bool:
         """Synchronous wrapper around :meth:`delete_gen`."""
         return self.ctx.run(self.delete_gen(key))
+
+    def execute_batch(self, batch, backend="vectorized"):
+        """Replay an :class:`~repro.engine.OpBatch` through a pluggable
+        engine backend; returns its :class:`~repro.engine.BatchResult`."""
+        from ..engine import make_backend
+        be = backend if hasattr(backend, "execute") else make_backend(backend)
+        return be.execute(self, batch)
 
     # -- host-side utilities ------------------------------------------------
     def items(self) -> list[tuple[int, int]]:

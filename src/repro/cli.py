@@ -63,7 +63,8 @@ def cmd_point(args) -> int:
     mix = Mixture(args.inserts, args.deletes,
                   100 - args.inserts - args.deletes)
     w = generate(mix, key_range=args.range, n_ops=args.ops, seed=args.seed)
-    r = run_workload(args.structure, w, team_size=args.team_size)
+    r = run_workload(args.structure, w, team_size=args.team_size,
+                     backend=args.backend)
     if r.oom:
         print(f"{r.structure} @ {args.range:,}: OOM at paper scale "
               "(Section 5.3)")
@@ -167,8 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("demo", help="one-minute API tour").set_defaults(
         func=cmd_demo)
 
+    from .engine import available_backends, available_structures
     pp = sub.add_parser("point", help="run one benchmark data point")
-    pp.add_argument("--structure", choices=("gfsl", "mc"), default="gfsl")
+    pp.add_argument("--structure", choices=available_structures(),
+                    default="gfsl")
+    pp.add_argument("--backend", choices=available_backends(),
+                    default="interleaved",
+                    help="batch-engine execution path (default: the "
+                    "interleaved replay the figures use)")
     pp.add_argument("--range", type=int, default=1_000_000)
     pp.add_argument("--ops", type=int, default=1000)
     pp.add_argument("--inserts", type=int, default=10)

@@ -134,9 +134,18 @@ def remove_from_chunk(sl, k: int, p_enc: int, level: int):
     yield from update_down_ptrs(sl, level, moved_keys, p_next)
 
 
-def delete(sl, k: int):
-    """Algorithm 4.11 ``delete``: the public delete operation."""
-    found, path = yield from search_slow(sl, k)
+def delete(sl, k: int, hint=None):
+    """Algorithm 4.11 ``delete``: the public delete operation.
+
+    ``hint`` is an optional precomputed ``(found, path)`` from
+    :func:`~repro.core.vector.vector_search`; see
+    :func:`repro.core.insert.insert` — the same re-validation argument
+    applies (containment is re-checked under the bottom lock).
+    """
+    if hint is None:
+        found, path = yield from search_slow(sl, k)
+    else:
+        found, path = hint
     if not found:
         return False
 

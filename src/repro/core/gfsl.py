@@ -14,7 +14,7 @@ stop-the-world ``compact`` (the paper's future-work reclamation scheme).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -132,17 +132,21 @@ class GFSL:
         found, _ = yield from _traversal.search_lateral(self, key, p_curr)
         return found
 
-    def insert_gen(self, key: int, value: int = 0):
-        """Algorithm 4.5: bottom-up insertion with probabilistic raising."""
+    def insert_gen(self, key: int, value: int = 0, hint=None):
+        """Algorithm 4.5: bottom-up insertion with probabilistic raising.
+
+        ``hint`` optionally carries a precomputed ``(found, path)`` from
+        :meth:`vector_search` so the batch engine can skip the per-op
+        traversal."""
         self._check_key(key)
         if not 0 <= value <= C.MASK32:
             raise ValueError("value must fit in 32 bits")
-        return (yield from _insert.insert(self, key, value))
+        return (yield from _insert.insert(self, key, value, hint=hint))
 
-    def delete_gen(self, key: int):
+    def delete_gen(self, key: int, hint=None):
         """Algorithm 4.11: top-down removal under the bottom lock."""
         self._check_key(key)
-        return (yield from _delete.delete(self, key))
+        return (yield from _delete.delete(self, key, hint=hint))
 
     def get_gen(self, key: int):
         """Lookup returning the associated value, or None.  Same
@@ -299,6 +303,28 @@ class GFSL:
         return self.ctx.run(self.predecessor_gen(key))
 
     # -- batch API ---------------------------------------------------------
+    def vector_contains(self, keys, tracer=None):
+        """Lock-step membership test for many keys at once on quiescent
+        memory — the structure's vectorized read kernel, used by the
+        batch engine's ``VectorizedBackend`` (see :mod:`repro.core.vector`).
+        Pass ``tracer`` to keep cost accounting."""
+        from .vector import vector_contains
+        return vector_contains(self, keys, tracer=tracer)
+
+    def vector_search(self, keys, tracer=None):
+        """Lock-step ``search_slow`` for many keys on quiescent memory;
+        returns ``(found, paths)`` usable as update hints (see
+        :func:`repro.core.vector.vector_search`)."""
+        from .vector import vector_search
+        return vector_search(self, keys, tracer=tracer)
+
+    def execute_batch(self, batch, backend="vectorized"):
+        """Replay an :class:`~repro.engine.OpBatch` through a pluggable
+        engine backend; returns its :class:`~repro.engine.BatchResult`."""
+        from ..engine import make_backend
+        be = backend if hasattr(backend, "execute") else make_backend(backend)
+        return be.execute(self, batch)
+
     def insert_many(self, pairs, seed: int | None = None) -> list[bool]:
         """Run a batch of inserts as one interleaved kernel (extension:
         the host→device batching model every GPU data structure uses)."""

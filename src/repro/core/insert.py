@@ -153,9 +153,19 @@ def insert_to_level(sl, level: int, p_enc: int, k: int, v: int):
     return True, p_insert, raised_key, raised_chunk, raise_next
 
 
-def insert(sl, k: int, v: int):
-    """Algorithm 4.5 ``insert``: the public insert operation."""
-    found, path = yield from search_slow(sl, k)
+def insert(sl, k: int, v: int, hint=None):
+    """Algorithm 4.5 ``insert``: the public insert operation.
+
+    ``hint`` is an optional precomputed ``(found, path)`` from
+    :func:`~repro.core.vector.vector_search` (the batch engine's
+    vectorized traversal).  The path entries are only starting points —
+    every level re-walks laterally and re-validates under the chunk
+    lock — so a hint from an earlier quiescent snapshot stays correct.
+    """
+    if hint is None:
+        found, path = yield from search_slow(sl, k)
+    else:
+        found, path = hint
     if found:
         return False
 

@@ -1,0 +1,257 @@
+"""Vectorized multi-key traversal kernels for GFSL (engine support).
+
+The batch engine's :class:`~repro.engine.vectorized.VectorizedBackend`
+replays the read-only phases of a wave through these kernels instead of
+one generator per op: :func:`vector_contains` answers all the wave's
+``Contains`` operations, and :func:`vector_search` precomputes the
+``(found, path)`` result of :func:`~repro.core.traversal.search_slow`
+for the wave's updates, which then skip their own traversal and go
+straight to the lock/modify phase (the path entries are hints — every
+consumer re-walks laterally and re-validates under the chunk lock, and
+a level's head chunk is always a correct hint).
+
+All in-flight searches advance in lock-step: each iteration gathers
+every search's current chunk with one numpy fancy-index against
+:class:`~repro.gpu.memory.GlobalMemory` and computes every team's
+ballot decision with one vectorized comparison, exactly the semantics
+of Algorithms 4.2–4.4/4.6 (``search_down`` + ``search_lateral``) but
+many ops wide.
+
+The kernels require quiescent memory (the wave's update ops have not
+started), which is what makes the lock-free restart path unreachable;
+if it is ever hit anyway — or a traversal exceeds the step bound — the
+op falls back to its ordinary generator, so behaviour can never diverge
+from the sequential path.  (Unlike ``search_slow``, the vector search
+performs no lazy zombie unlinking — that cleanup is best-effort by
+design, so skipping it affects only when zombies get unlinked, never
+results.)
+
+Tracer accounting is preserved per wave step: each iteration records one
+coalesced chunk access *per in-flight op* through
+:meth:`~repro.gpu.tracer.TransactionTracer.access_words_batch`, so the
+cost model sees the same access stream the per-op generators would have
+produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.scheduler import run_to_completion
+from . import constants as C
+
+_DOWN, _LATERAL = 0, 1
+
+# Diagnostics of the most recent kernel call: how many ops fell back to
+# their generator, and why.  Tests use this to assert the fallback path
+# stays cold on quiescent memory.
+last_call_diag = {"ops": 0, "fallback_backtrack": 0, "fallback_restart": 0,
+                  "fallback_stuck": 0}
+
+
+def _highest_true_lane(flags: np.ndarray) -> np.ndarray:
+    """Row-wise ``highest_set_lane(ballot(flags))``: index of the highest
+    True column, or -1 for all-False rows (the NONE_TID case)."""
+    ncols = flags.shape[1]
+    tid = (ncols - 1) - np.argmax(flags[:, ::-1], axis=1)
+    tid[~flags.any(axis=1)] = C.NONE_TID
+    return tid
+
+
+def _traverse(sl, keys: np.ndarray, tracer, record_path: bool):
+    """The shared lock-step descent + bottom-level lateral walk.
+
+    Returns ``(found, paths, fallback)``: a bool array aligned with
+    ``keys``, the per-op ``search_slow`` path matrix (or ``None`` when
+    ``record_path`` is false), and the list of op indices that must be
+    replayed through their generator.
+    """
+    m = int(keys.size)
+    geo, lay = sl.geo, sl.layout
+    words = sl.ctx.mem.raw()
+    dsize, n = geo.dsize, geo.n
+    mask32 = np.uint64(C.MASK32)
+
+    # Every search starts with the coalesced head-array read of
+    # Algorithm 4.2; memory is quiescent so one snapshot serves all ops,
+    # but the cost model still sees one access per op.
+    head = words[lay.head_base: lay.head_base + lay.max_level]
+    if tracer is not None:
+        tracer.access_words_batch(
+            np.full(m, lay.head_base, dtype=np.int64), lay.max_level,
+            coalesced=True)
+        tracer.record_compute(m)
+    counts = (head & mask32).astype(np.int64)
+    ptrs = (head >> np.uint64(32)).astype(np.int64)
+    nz = np.nonzero(counts > 0)[0]
+    height0 = int(nz[-1]) if nz.size else 0
+
+    pcurr = np.full(m, ptrs[height0], dtype=np.int64)
+    height = np.full(m, height0, dtype=np.int64)
+    phase = np.full(m, _DOWN if height0 > 0 else _LATERAL, dtype=np.int8)
+    prev = np.zeros((m, n), dtype=np.uint64)
+    prev_ptr = np.zeros(m, dtype=np.int64)
+    have_prev = np.zeros(m, dtype=bool)
+    found = np.zeros(m, dtype=bool)
+    active = np.ones(m, dtype=bool)
+    # The "artificial array": every level defaults to its head chunk —
+    # always a valid lateral starting point (search_slow does the same).
+    paths = None
+    if record_path:
+        paths = np.repeat(ptrs[np.newaxis, :], m, axis=0)
+    fallback: list[int] = []
+    offs = np.arange(n, dtype=np.int64)
+    steps = 0
+    diag = last_call_diag
+    diag.update(ops=m, fallback_backtrack=0, fallback_restart=0,
+                fallback_stuck=0)
+
+    while True:
+        act = np.nonzero(active)[0]
+        if act.size == 0:
+            break
+        steps += 1
+        if steps > 100_000:  # corrupted structure: let the generators
+            fallback.extend(act.tolist())  # raise a precise fault
+            active[act] = False
+            diag["fallback_stuck"] += act.size
+            break
+
+        addrs = lay.chunks_base + pcurr[act] * n
+        if tracer is not None:
+            tracer.access_words_batch(addrs, n, coalesced=True)
+            tracer.record_compute(act.size)
+        W = words[addrs[:, None] + offs]
+        keys_m = (W & mask32).astype(np.int64)
+        vals_m = (W >> np.uint64(32)).astype(np.int64)
+        zomb = W[:, geo.lock_idx] == np.uint64(C.ZOMBIE)
+        maxf = keys_m[:, geo.next_idx]
+        nxt = vals_m[:, geo.next_idx]
+        kk = keys[act]
+        ph = phase[act]
+
+        # ---- descent rows (Algorithms 4.2 / 4.6) -------------------------
+        downs = ph == _DOWN
+        zd = downs & zomb                       # skip frozen zombies
+        if zd.any():
+            pcurr[act[zd]] = nxt[zd]
+        live_d = downs & ~zomb
+        if live_d.any():
+            flags = np.concatenate(
+                [keys_m[:, :dsize] <= kk[:, None], (maxf < kk)[:, None]],
+                axis=1)
+            tid = _highest_true_lane(flags)
+
+            lat = live_d & (tid == dsize)       # lateral step
+            if lat.any():
+                g = act[lat]
+                prev[g] = W[lat]
+                prev_ptr[g] = pcurr[g]
+                have_prev[g] = True
+                pcurr[g] = nxt[lat]
+
+            down = live_d & (tid >= 0) & (tid < dsize)   # down step
+            if down.any():
+                g = act[down]
+                rows = np.nonzero(down)[0]
+                if record_path:
+                    paths[g, height[g]] = pcurr[g]
+                pcurr[g] = vals_m[rows, tid[down]]
+                height[g] -= 1
+                have_prev[g] = False
+                phase[g[height[g] == 0]] = _LATERAL
+
+            none = live_d & (tid == C.NONE_TID)          # backtrack
+            if none.any():
+                hp = have_prev[act].copy()  # snapshot: the bt branch below
+                bt = none & hp              # clears have_prev in place
+                if bt.any():
+                    g = act[bt]
+                    pk = (prev[g] & mask32).astype(np.int64)[:, :dsize]
+                    tidb = _highest_true_lane(pk <= kk[bt][:, None])
+                    ok = tidb >= 0
+                    gg = g[ok]
+                    rows = np.nonzero(ok)[0]
+                    if record_path:
+                        paths[gg, height[gg]] = prev_ptr[gg]
+                    pv = (prev[g] >> np.uint64(32)).astype(np.int64)
+                    pcurr[gg] = pv[rows, tidb[ok]]
+                    height[gg] -= 1
+                    have_prev[gg] = False
+                    phase[gg[height[gg] == 0]] = _LATERAL
+                    bad_g = g[~ok]
+                    fallback.extend(bad_g.tolist())
+                    active[bad_g] = False
+                    diag["fallback_backtrack"] += bad_g.size
+                rs = none & ~hp                 # the lock-free restart —
+                if rs.any():                    # unreachable when quiescent
+                    g = act[rs]
+                    fallback.extend(g.tolist())
+                    active[g] = False
+                    diag["fallback_restart"] += g.size
+
+        # ---- bottom-level lateral rows (Algorithm 4.4) -------------------
+        lats = ph == _LATERAL
+        if lats.any():
+            flags2 = np.concatenate(
+                [keys_m[:, :dsize] == kk[:, None], (maxf < kk)[:, None]],
+                axis=1)
+            tid2 = _highest_true_lane(flags2)
+            step = lats & ((tid2 == dsize) | zomb)
+            if step.any():
+                pcurr[act[step]] = nxt[step]
+            done = lats & ~step
+            if done.any():
+                g = act[done]
+                if record_path:
+                    paths[g, 0] = pcurr[g]      # the enclosing chunk
+                found[g] = tid2[done] != C.NONE_TID
+                active[g] = False
+
+    return found, paths, fallback
+
+
+def _check_keys(sl, keys: np.ndarray) -> None:
+    bad = (keys < C.MIN_USER_KEY) | (keys > C.MAX_USER_KEY)
+    if bad.any():
+        sl._check_key(int(keys[np.nonzero(bad)[0][0]]))  # raises
+
+
+def vector_contains(sl, keys: np.ndarray, tracer=None) -> np.ndarray:
+    """Lock-step membership test for many keys on quiescent memory.
+
+    Returns a boolean array aligned with ``keys``.  Op accounting
+    (``contains_calls``) matches running ``contains_gen`` once per key.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return np.zeros(0, dtype=bool)
+    _check_keys(sl, keys)
+    found, _paths, fallback = _traverse(sl, keys, tracer, record_path=False)
+    sl.op_stats.contains_calls += int(keys.size) - len(fallback)
+    for i in fallback:
+        found[i] = sl.ctx.run(sl.contains_gen(int(keys[i])))
+    return found
+
+
+def vector_search(sl, keys: np.ndarray, tracer=None):
+    """Lock-step ``search_slow`` for many keys on quiescent memory.
+
+    Returns ``(found, paths)`` where row ``i`` of ``paths`` is the
+    per-level chunk-pointer path for ``keys[i]`` — directly usable as
+    the ``hint`` of :func:`repro.core.insert.insert` /
+    :func:`repro.core.delete.delete`.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return np.zeros(0, dtype=bool), np.zeros(
+            (0, sl.layout.max_level), dtype=np.int64)
+    _check_keys(sl, keys)
+    found, paths, fallback = _traverse(sl, keys, tracer, record_path=True)
+    from .traversal import search_slow
+    for i in fallback:
+        f, p = run_to_completion(search_slow(sl, int(keys[i])),
+                                 sl.ctx.mem, tracer)
+        found[i] = f
+        paths[i] = np.asarray(p, dtype=np.int64)
+    return found, paths

@@ -1,0 +1,64 @@
+"""Pluggable batch-execution engine.
+
+One entry point for all three execution paths the repo grew
+historically — sequential trampoline, event-granularity interleaving,
+and lock-step vectorized waves — behind a common ``Backend`` protocol
+operating on :class:`OpBatch` structure-of-arrays batches against any
+:class:`ConcurrentMap` (GFSL or the M&C baseline).
+
+Typical use::
+
+    from repro.engine import OpBatch, make_backend, make_structure
+
+    batch = OpBatch.from_workload(workload)
+    sl = make_structure("gfsl", workload, team_size=32)
+    out = make_backend("vectorized").execute(sl, batch)
+
+This package never imports :mod:`repro.workloads` (which imports it).
+"""
+
+from .backends import (
+    BACKEND_NAMES,
+    Backend,
+    BatchResult,
+    InterleavedBackend,
+    SequentialBackend,
+    available_backends,
+    make_backend,
+)
+from .batch import OP_CONTAINS, OP_DELETE, OP_INSERT, OP_NAMES, OpBatch
+from .interface import (
+    STRUCTURES,
+    ConcurrentMap,
+    StructureSpec,
+    available_structures,
+    make_structure,
+    op_generator,
+    structure_spec,
+)
+from .vectorized import VectorizedBackend, plan_waves, run_wave_generators
+
+__all__ = [
+    "OP_CONTAINS",
+    "OP_INSERT",
+    "OP_DELETE",
+    "OP_NAMES",
+    "OpBatch",
+    "Backend",
+    "BatchResult",
+    "BACKEND_NAMES",
+    "SequentialBackend",
+    "InterleavedBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "make_backend",
+    "plan_waves",
+    "run_wave_generators",
+    "ConcurrentMap",
+    "StructureSpec",
+    "STRUCTURES",
+    "available_structures",
+    "structure_spec",
+    "make_structure",
+    "op_generator",
+]

@@ -1,0 +1,145 @@
+"""Pluggable batch-execution backends.
+
+A backend turns ``(structure, OpBatch)`` into per-op results plus the
+usual tracer accounting.  All three backends replay the *same* event
+generators against the *same* :class:`~repro.gpu.memory.GlobalMemory`,
+so they agree on final structure contents and per-op outcomes; they
+differ only in how operations are scheduled:
+
+* :class:`SequentialBackend` — one op at a time through the
+  :func:`~repro.gpu.scheduler.run_to_completion` trampoline (the
+  reference semantics).
+* :class:`InterleavedBackend` — waves of ``concurrency`` in-flight ops
+  through a fresh :class:`~repro.gpu.scheduler.InterleavingScheduler`
+  per wave, exactly the mechanics of ``GPUContext.launch``.
+* :class:`~repro.engine.vectorized.VectorizedBackend` (own module) —
+  lock-step waves with batched numpy gathers.
+
+``make_backend`` resolves a backend by name so callers can select
+``structure × backend`` from strings (CLI flags, experiment grids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+from ..gpu.scheduler import InterleavingScheduler, run_to_completion
+from .batch import OpBatch
+from .interface import ConcurrentMap, op_generator
+
+
+@dataclass
+class BatchResult:
+    """Per-op outcomes of one batch execution.
+
+    ``results[i]`` is the return value of operation ``i`` of the batch
+    (bool for all three paper ops).  ``waves`` counts scheduling rounds:
+    ``len(batch)`` for sequential, ceil(len/concurrency) for the wave
+    backends.
+    """
+
+    results: list[Any]
+    backend: str
+    waves: int = 1
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Executes an :class:`OpBatch` against a :class:`ConcurrentMap`."""
+
+    name: str
+
+    def execute(self, structure: ConcurrentMap,
+                batch: OpBatch) -> BatchResult: ...
+
+
+class SequentialBackend:
+    """Reference backend: drain each op's generator to completion before
+    starting the next (no concurrency, no races)."""
+
+    name = "sequential"
+
+    def execute(self, structure: ConcurrentMap,
+                batch: OpBatch) -> BatchResult:
+        ctx = structure.ctx
+        results = [
+            run_to_completion(op_generator(structure, op, key, value),
+                              ctx.mem, ctx.tracer)
+            for op, key, value in zip(batch.ops.tolist(),
+                                      batch.keys.tolist(),
+                                      batch.values.tolist())
+        ]
+        return BatchResult(results=results, backend=self.name,
+                           waves=len(results))
+
+
+class InterleavedBackend:
+    """Concurrent backend: waves of ``concurrency`` ops interleaved at
+    event granularity — the wave mechanics of ``GPUContext.launch``, so
+    lock conflicts and L2 thrash between concurrent access streams show
+    up in the trace.
+
+    ``concurrency=None`` defaults to the device's memory-parallelism
+    limit (total MSHRs); callers with an occupancy result should pass
+    :func:`~repro.gpu.kernel.default_concurrency` instead.  ``seed``
+    shuffles each round's visit order (adversarial interleavings for
+    stress tests); ``None`` keeps the deterministic round-robin.
+    """
+
+    name = "interleaved"
+
+    def __init__(self, concurrency: int | None = None,
+                 seed: int | None = None):
+        self.concurrency = concurrency
+        self.seed = seed
+
+    def execute(self, structure: ConcurrentMap,
+                batch: OpBatch) -> BatchResult:
+        ctx = structure.ctx
+        conc = self.concurrency
+        if conc is None:
+            conc = ctx.device.mshr_per_sm * ctx.device.num_sms
+        conc = max(1, int(conc))
+
+        ops = batch.ops.tolist()
+        keys = batch.keys.tolist()
+        values = batch.values.tolist()
+        results: list[Any] = []
+        waves = 0
+        for start in range(0, len(ops), conc):
+            sched = InterleavingScheduler(ctx.mem, ctx.tracer,
+                                          seed=self.seed)
+            for i in range(start, min(start + conc, len(ops))):
+                sched.spawn(op_generator(structure, ops[i], keys[i],
+                                         values[i]))
+            results.extend(r.value for r in sched.run())
+            waves += 1
+        return BatchResult(results=results, backend=self.name, waves=waves)
+
+
+BACKEND_NAMES = ("sequential", "interleaved", "vectorized")
+
+
+def available_backends() -> tuple[str, ...]:
+    return BACKEND_NAMES
+
+
+def make_backend(name: str, **kwargs) -> Backend:
+    """Instantiate a backend by registry name.
+
+    Keyword arguments go to the backend constructor (``concurrency`` /
+    ``seed`` for interleaved, ``wave_size`` for vectorized).
+    """
+    if name == "sequential":
+        return SequentialBackend(**kwargs)
+    if name == "interleaved":
+        return InterleavedBackend(**kwargs)
+    if name == "vectorized":
+        from .vectorized import VectorizedBackend  # avoid import cycle
+        return VectorizedBackend(**kwargs)
+    raise ValueError(f"unknown backend {name!r} "
+                     f"(available: {', '.join(BACKEND_NAMES)})")

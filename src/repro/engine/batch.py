@@ -1,0 +1,101 @@
+"""Structure-of-arrays operation batches.
+
+An :class:`OpBatch` is the engine's unit of work: three parallel numpy
+arrays (op-codes, keys, values) describing "execute these operations
+against a concurrent map".  It replaces per-op Python object loops on
+the replay hot path — backends slice, mask, and gather the arrays
+directly — and is built **zero-copy** from the arrays
+:func:`repro.workloads.generator.generate` already produces.
+
+Op codes match :class:`repro.workloads.generator.Op` by value; they are
+re-declared here as plain ints so the engine package stays importable
+without the workloads package (which itself imports the engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+# Values of repro.workloads.generator.Op (kept in sync by a unit test).
+OP_CONTAINS = 0
+OP_INSERT = 1
+OP_DELETE = 2
+
+OP_NAMES = {OP_CONTAINS: "contains", OP_INSERT: "insert", OP_DELETE: "delete"}
+
+
+def _as_i64(a, name: str) -> np.ndarray:
+    out = np.asarray(a, dtype=np.int64)  # no copy when already int64
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional")
+    return out
+
+
+@dataclass
+class OpBatch:
+    """A batch of operations in SoA form.
+
+    ``ops[i]`` is the op-code, ``keys[i]`` the key, and ``values[i]`` the
+    insert payload of operation ``i`` (ignored for contains/delete).
+    """
+
+    ops: np.ndarray
+    keys: np.ndarray
+    values: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        self.ops = _as_i64(self.ops, "ops")
+        self.keys = _as_i64(self.keys, "keys")
+        if self.values is None:
+            self.values = np.zeros(self.ops.size, dtype=np.int64)
+        self.values = _as_i64(self.values, "values")
+        if not (self.ops.size == self.keys.size == self.values.size):
+            raise ValueError("ops/keys/values must have equal length")
+        if self.ops.size and (
+                (self.ops < OP_CONTAINS) | (self.ops > OP_DELETE)).any():
+            raise ValueError("unknown op-code in batch")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_workload(cls, workload) -> "OpBatch":
+        """Wrap a generated workload's arrays without copying.
+
+        Accepts any object with ``ops``/``keys`` (and optionally
+        ``values``) int64 arrays — in practice a
+        :class:`repro.workloads.generator.Workload`.
+        """
+        return cls(ops=workload.ops, keys=workload.keys,
+                   values=getattr(workload, "values", None))
+
+    @classmethod
+    def from_pairs(cls, pairs) -> "OpBatch":
+        """Build from an iterable of ``(op_code, key)`` or
+        ``(op_code, key, value)`` tuples (tests, small scripts)."""
+        rows = [(p[0], p[1], p[2] if len(p) > 2 else 0) for p in pairs]
+        arr = np.asarray(rows, dtype=np.int64).reshape(-1, 3)
+        return cls(ops=arr[:, 0].copy(), keys=arr[:, 1].copy(),
+                   values=arr[:, 2].copy())
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.ops.size)
+
+    def __getitem__(self, sl) -> "OpBatch":
+        """Slice/mask into a sub-batch (views, still zero-copy for
+        slices)."""
+        return OpBatch(ops=self.ops[sl], keys=self.keys[sl],
+                       values=self.values[sl])
+
+    def counts(self) -> dict[str, int]:
+        """Ops per kind, e.g. ``{"contains": 80, "insert": 12, ...}``."""
+        return {name: int(np.count_nonzero(self.ops == code))
+                for code, name in OP_NAMES.items()}
+
+    @property
+    def update_fraction(self) -> float:
+        """Share of mutating operations (insert + delete)."""
+        if not len(self):
+            return 0.0
+        return float(np.count_nonzero(self.ops != OP_CONTAINS)) / len(self)

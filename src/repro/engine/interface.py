@@ -1,0 +1,128 @@
+"""The structural interface backends execute against.
+
+:class:`ConcurrentMap` is what a backend needs from a data structure:
+generator factories for the three paper operations, the owning
+:class:`~repro.gpu.kernel.GPUContext`, and an
+:class:`~repro.core.gfsl.OpStats` counter block.  Both
+:class:`~repro.core.GFSL` and the M&C baseline satisfy it, which is what
+lets the workload runner, the experiment harness, the CLI, and the
+examples select ``structure × backend`` by name instead of
+special-casing the two structures.
+
+The registry also owns the workload-sized builders (previously private
+to ``workloads/runner.py``): prefill sizing, bulk build, and L2 warming
+for each structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..baseline import MC_KERNEL, MCSkiplist
+from ..baseline import bulk_build_into as mc_bulk
+from ..baseline import warm_structure as mc_warm
+from ..baseline.node import HEADER_WORDS
+from ..core import GFSL, GFSL_KERNEL, bulk_build_into, suggest_capacity
+from ..core.bulk import warm_structure
+from ..core.gfsl import OpStats
+from ..gpu.kernel import GPUContext
+from ..gpu.occupancy import KernelResources
+from .batch import OP_CONTAINS, OP_DELETE, OP_INSERT
+
+
+@runtime_checkable
+class ConcurrentMap(Protocol):
+    """A concurrent ordered map executable by the batch engine."""
+
+    ctx: GPUContext
+    op_stats: OpStats
+
+    def contains_gen(self, key: int) -> Generator: ...
+    def insert_gen(self, key: int, value: int = 0) -> Generator: ...
+    def delete_gen(self, key: int) -> Generator: ...
+    def keys(self) -> list: ...
+    def items(self) -> list: ...
+
+
+def op_generator(structure: ConcurrentMap, op: int, key: int,
+                 value: int = 0) -> Generator:
+    """One operation's device-function generator, by op-code."""
+    if op == OP_CONTAINS:
+        return structure.contains_gen(int(key))
+    if op == OP_INSERT:
+        return structure.insert_gen(int(key), int(value))
+    if op == OP_DELETE:
+        return structure.delete_gen(int(key))
+    raise ValueError(f"unknown op-code {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Structure registry
+# ---------------------------------------------------------------------------
+
+def _expected_keys(workload) -> int:
+    inserts = int(np.count_nonzero(np.asarray(workload.ops) == OP_INSERT))
+    return len(workload.prefill) + inserts + 8
+
+
+def _build_gfsl(workload, *, team_size: int = 32, p_chunk: float = 1.0,
+                p_key: float = 0.5, device=None, seed: int = 0) -> GFSL:
+    """Bulk-build the prefilled GFSL for a workload and warm the L2."""
+    expected = _expected_keys(workload)
+    sl = GFSL(capacity_chunks=suggest_capacity(max(expected, 64), team_size),
+              team_size=team_size, p_chunk=p_chunk, device=device, seed=seed)
+    if len(workload.prefill):
+        bulk_build_into(sl, [(int(k), 0) for k in workload.prefill],
+                        rng=sl.rng)
+    warm_structure(sl)
+    return sl
+
+
+def _build_mc(workload, *, team_size: int = 32, p_chunk: float = 1.0,
+              p_key: float = 0.5, device=None, seed: int = 0) -> MCSkiplist:
+    """Bulk-build the prefilled M&C skiplist and warm the L2."""
+    expected = _expected_keys(workload)
+    capacity = expected * (HEADER_WORDS + 4) * 2 + 8192
+    mc = MCSkiplist(capacity_words=capacity, p_key=p_key, device=device,
+                    seed=seed)
+    if len(workload.prefill):
+        mc_bulk(mc, [(int(k), 0) for k in workload.prefill], rng=mc.rng)
+    mc_warm(mc)
+    return mc
+
+
+@dataclass(frozen=True)
+class StructureSpec:
+    """Registry entry: how to build a structure and cost its kernel."""
+
+    name: str                       # registry key ("gfsl", "mc")
+    label: str                      # display name ("GFSL", "M&C")
+    build: Callable[..., Any]       # build(workload, **params) -> structure
+    kernel: KernelResources         # calibrated resource profile
+
+
+STRUCTURES: dict[str, StructureSpec] = {
+    "gfsl": StructureSpec("gfsl", "GFSL", _build_gfsl, GFSL_KERNEL),
+    "mc": StructureSpec("mc", "M&C", _build_mc, MC_KERNEL),
+}
+
+
+def available_structures() -> tuple[str, ...]:
+    return tuple(STRUCTURES)
+
+
+def structure_spec(kind: str) -> StructureSpec:
+    try:
+        return STRUCTURES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown structure kind {kind!r} "
+            f"(available: {', '.join(STRUCTURES)})") from None
+
+
+def make_structure(kind: str, workload, **params) -> ConcurrentMap:
+    """Build a prefilled, warmed structure for a workload by name."""
+    return structure_spec(kind).build(workload, **params)

@@ -1,0 +1,231 @@
+"""Lock-step wave backend with batched numpy event execution.
+
+The :class:`VectorizedBackend` drains a batch in *waves*.  Waves give
+the replay the shape of a real kernel grid — a bounded set of in-flight
+team operations with a full barrier between rounds — and give the
+engine two batching opportunities per wave:
+
+* **Reads first.** A wave's ``Contains`` ops run before its updates, so
+  they see quiescent memory and can be answered by the structure's
+  vectorized multi-key kernel (:func:`repro.core.vector.vector_contains`
+  for GFSL) — one numpy gather per traversal step for the whole group
+  instead of one Python event per pointer hop.  Structures without a
+  ``vector_contains`` capability (the M&C baseline) simply run their
+  contains generators with the updates.
+
+* **Homogeneous event groups.** The wave's remaining generators advance
+  in lock-step; each tick's ``ChunkRead``/``WordRead`` events are
+  grouped and dispatched through one fancy-index against
+  :meth:`~repro.gpu.memory.GlobalMemory.raw` plus one
+  :meth:`~repro.gpu.tracer.TransactionTracer.access_words_batch` call.
+  All other events (CAS, atomics, writes, compute) go through the
+  ordinary :func:`~repro.gpu.scheduler.execute_event` in slot order, so
+  the tick is just one deterministic round-robin round.
+
+**Determinism.** :func:`plan_waves` never places two operations on the
+same key in one wave — the later one is deferred (FIFO per key) to a
+later wave.  Within a wave all keys are distinct, so reordering reads
+before updates cannot change any op's outcome, and the full barrier
+between waves means every op observes exactly the structure state the
+sequential backend would have shown it.  Per-op results and final
+contents therefore match :class:`~repro.engine.backends.SequentialBackend`
+op for op (lock-free restart *counts* may differ; outcomes do not).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ..gpu import events as ev
+from ..gpu.memory import GlobalMemory
+from ..gpu.scheduler import execute_event
+from ..gpu.tracer import TransactionTracer
+from .backends import BatchResult
+from .batch import OP_CONTAINS, OP_INSERT, OpBatch
+from .interface import ConcurrentMap, op_generator
+
+DEFAULT_WAVE_SIZE = 512
+
+
+def plan_waves(keys, wave_size: int = DEFAULT_WAVE_SIZE) -> list[list[int]]:
+    """Partition op indices into waves of at most ``wave_size`` with no
+    key repeated inside a wave.
+
+    Ops on a repeated key are carried to a later wave, and once a key
+    has a deferred op, every later op on that key defers behind it —
+    per-key FIFO order is preserved exactly, which is what makes the
+    wave schedule outcome-equivalent to sequential replay.
+    """
+    if wave_size < 1:
+        raise ValueError("wave_size must be >= 1")
+    keys = np.asarray(keys, dtype=np.int64)
+    total = int(keys.size)
+    waves: list[list[int]] = []
+    carry: list[int] = []
+    pos = 0
+    while pos < total or carry:
+        wave: list[int] = []
+        seen: set[int] = set()
+        blocked: set[int] = set()     # keys with an op already deferred
+        new_carry: list[int] = []
+        for i in carry:
+            k = int(keys[i])
+            if k in seen or k in blocked or len(wave) >= wave_size:
+                new_carry.append(i)
+                blocked.add(k)
+            else:
+                seen.add(k)
+                wave.append(i)
+        while pos < total and len(wave) < wave_size:
+            k = int(keys[pos])
+            if k in seen or k in blocked:
+                new_carry.append(pos)
+                blocked.add(k)
+            else:
+                seen.add(k)
+                wave.append(pos)
+            pos += 1
+        carry = new_carry
+        waves.append(wave)
+    return waves
+
+
+class _Task:
+    __slots__ = ("slot", "gen", "event", "pending", "started")
+
+    def __init__(self, slot: int, gen: Generator):
+        self.slot = slot
+        self.gen = gen
+        self.event = None
+        self.pending: Any = None
+        self.started = False
+
+
+def run_wave_generators(tasks, mem: GlobalMemory,
+                        tracer: TransactionTracer | None) -> dict[int, Any]:
+    """Advance ``(slot, generator)`` pairs in lock-step, batching each
+    tick's homogeneous read events; returns ``{slot: return value}``.
+
+    One tick sends every live generator its pending result and collects
+    its next event — a fair round-robin round, so spin-locks progress.
+    """
+    results: dict[int, Any] = {}
+    live = [_Task(slot, gen) for slot, gen in tasks]
+    raw = mem.raw()
+    while live:
+        advancing: list[_Task] = []
+        for t in live:
+            try:
+                if t.started:
+                    t.event = t.gen.send(t.pending)
+                else:
+                    t.started = True
+                    t.event = next(t.gen)
+                t.pending = None
+                advancing.append(t)
+            except StopIteration as stop:
+                results[t.slot] = stop.value
+        live = advancing
+        if not live:
+            break
+
+        chunk_groups: dict[int, list[_Task]] = {}
+        word_tasks: list[_Task] = []
+        others: list[_Task] = []
+        for t in live:
+            e = t.event
+            if type(e) is ev.ChunkRead:
+                chunk_groups.setdefault(e.n, []).append(t)
+            elif type(e) is ev.WordRead:
+                word_tasks.append(t)
+            else:
+                others.append(t)
+
+        for n, group in chunk_groups.items():
+            addrs = np.fromiter((t.event.addr for t in group),
+                                dtype=np.int64, count=len(group))
+            if tracer is not None:
+                tracer.access_words_batch(addrs, n, coalesced=True)
+                tracer.record_compute(len(group))
+            rows = raw[addrs[:, None] + np.arange(n, dtype=np.int64)]
+            for i, t in enumerate(group):
+                t.pending = rows[i]
+        if word_tasks:
+            addrs = np.fromiter((t.event.addr for t in word_tasks),
+                                dtype=np.int64, count=len(word_tasks))
+            if tracer is not None:
+                tracer.access_words_batch(addrs, 1, coalesced=False)
+                tracer.record_compute(len(word_tasks))
+            for t, value in zip(word_tasks, raw[addrs].tolist()):
+                t.pending = value
+        for t in others:
+            t.pending = execute_event(t.event, mem, tracer)
+    return results
+
+
+class VectorizedBackend:
+    """Wave-parallel backend: vectorized contains + lock-step updates."""
+
+    name = "vectorized"
+
+    def __init__(self, wave_size: int = DEFAULT_WAVE_SIZE):
+        if wave_size < 1:
+            raise ValueError("wave_size must be >= 1")
+        self.wave_size = wave_size
+
+    def execute(self, structure: ConcurrentMap,
+                batch: OpBatch) -> BatchResult:
+        ctx = structure.ctx
+        results: list[Any] = [None] * len(batch)
+        waves = plan_waves(batch.keys, self.wave_size)
+        can_vector = hasattr(structure, "vector_contains")
+
+        can_search = can_vector and hasattr(structure, "vector_search")
+        for wave in waves:
+            idx = np.asarray(wave, dtype=np.int64)
+            if idx.size == 0:
+                continue
+            rest = idx
+            hints: dict[int, tuple] = {}
+            if can_vector:
+                # Reads first: the wave's updates have not started, so
+                # the quiescent-memory kernels answer every contains and
+                # precompute every update's traversal in lock-step.
+                contains_mask = batch.ops[idx] == OP_CONTAINS
+                if contains_mask.any():
+                    cidx = idx[contains_mask]
+                    found = structure.vector_contains(batch.keys[cidx],
+                                                      tracer=ctx.tracer)
+                    for i, hit in zip(cidx.tolist(), found.tolist()):
+                        results[i] = bool(hit)
+                    rest = idx[~contains_mask]
+                if can_search and rest.size:
+                    ufound, upaths = structure.vector_search(
+                        batch.keys[rest], tracer=ctx.tracer)
+                    for row, i in enumerate(rest.tolist()):
+                        hints[i] = (bool(ufound[row]), upaths[row].tolist())
+            if rest.size:
+                tasks = [(i, self._op_gen(structure, batch, i, hints))
+                         for i in rest.tolist()]
+                for slot, value in run_wave_generators(
+                        tasks, ctx.mem, ctx.tracer).items():
+                    results[slot] = value
+        return BatchResult(results=results, backend=self.name,
+                           waves=len(waves))
+
+    @staticmethod
+    def _op_gen(structure: ConcurrentMap, batch: OpBatch, i: int,
+                hints: dict) -> Generator:
+        """One update op's generator, with its precomputed search hint
+        when the structure supports vectorized search."""
+        op = int(batch.ops[i])
+        key = int(batch.keys[i])
+        hint = hints.get(i)
+        if hint is None:
+            return op_generator(structure, op, key, int(batch.values[i]))
+        if op == OP_INSERT:
+            return structure.insert_gen(key, int(batch.values[i]),
+                                        hint=hint)
+        return structure.delete_gen(key, hint=hint)

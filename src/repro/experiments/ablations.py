@@ -97,20 +97,29 @@ def sequential_vs_interleaved(key_range: int = 1_000_000,
     """Replay the same M&C workload with one op in flight vs. the full
     interleave, isolating the thrashing contribution to the trace."""
     from ..baseline import MC_KERNEL
+    from ..engine import OpBatch, make_backend
     from ..gpu import LaunchConfig
-    from ..workloads.runner import _op_gens, build_mc
+    from ..gpu.kernel import default_concurrency
+    from ..gpu.occupancy import compute_occupancy
+    from ..workloads.runner import build_mc
     scale = scale or current_scale()
     key_range = min(key_range, max(scale.ranges))
     w = generate(MIX_10_10_80, key_range=key_range, n_ops=scale.n_ops,
                  seed=9)
     out = {}
-    for label, conc in (("sequential", 1), ("interleaved", None)):
+    for label in ("sequential", "interleaved"):
         mc = build_mc(w)
-        res = mc.ctx.launch(_op_gens(mc, w), LaunchConfig(), MC_KERNEL,
-                            concurrency=conc)
-        out[label] = dict(mops=res.timing.mops,
-                          l2_hit=res.stats.l2_hit_rate,
-                          dram_per_op=res.stats.dram_transactions / w.n_ops)
+        occ = compute_occupancy(mc.ctx.device, LaunchConfig(), MC_KERNEL)
+        kwargs = ({"concurrency": default_concurrency(
+            mc.ctx.device, occ, MC_KERNEL)} if label == "interleaved" else {})
+        mc.ctx.tracer.reset_stats()
+        make_backend(label, **kwargs).execute(mc, OpBatch.from_workload(w))
+        stats = mc.ctx.tracer.stats
+        timing = mc.ctx.cost_model.evaluate(stats, occ, ops=w.n_ops,
+                                            kernel=MC_KERNEL)
+        out[label] = dict(mops=timing.mops,
+                          l2_hit=stats.l2_hit_rate,
+                          dram_per_op=stats.dram_transactions / w.n_ops)
     return out
 
 
@@ -133,15 +142,11 @@ def warp_lockstep_mc(key_range: int = 300_000,
                  seed=17)
     out = {}
 
+    from ..engine import op_generator
     mc = build_mc(w)
     mc.ctx.tracer.reset_stats()
-    gens = []
-    from ..workloads.generator import Op
-    for op, key in zip(w.ops, w.keys):
-        k = int(key)
-        gens.append(mc.contains_gen(k) if op == Op.CONTAINS
-                    else mc.insert_gen(k) if op == Op.INSERT
-                    else mc.delete_gen(k))
+    gens = [op_generator(mc, int(op), int(key))
+            for op, key in zip(w.ops, w.keys)]
     _, wstats = run_in_warps(gens, mc.ctx.mem, mc.ctx.tracer)
     t = mc.ctx.tracer.stats
     out["lockstep"] = dict(
@@ -150,11 +155,10 @@ def warp_lockstep_mc(key_range: int = 300_000,
         / w.n_ops,
         divergence_ratio=wstats.divergence_ratio)
 
+    from ..engine import OpBatch, make_backend
     mc2 = build_mc(w)
     mc2.ctx.tracer.reset_stats()
-    from ..workloads.runner import _op_gens
-    for make in _op_gens(mc2, w):
-        mc2.ctx.run(make())
+    make_backend("sequential").execute(mc2, OpBatch.from_workload(w))
     t2 = mc2.ctx.tracer.stats
     out["per-op"] = dict(transactions_per_op=t2.transactions / w.n_ops,
                          coalesced_lane_requests_per_op=0.0,

@@ -74,8 +74,13 @@ def run_point(structure_kind: str, mixture: Mixture, key_range: int,
               scale: Scale | None = None, team_size: int = 32,
               p_chunk: float = 1.0, p_key: float = 0.5,
               launch=None, n_ops: int | None = None,
-              repeats: int | None = None) -> Point:
-    """Run ``repeats`` workloads (distinct op-stream seeds) and summarize."""
+              repeats: int | None = None,
+              backend: str = "interleaved") -> Point:
+    """Run ``repeats`` workloads (distinct op-stream seeds) and summarize.
+
+    ``backend`` names the batch-engine execution path (see
+    :func:`repro.engine.available_backends`); the default is the
+    interleaved replay every published figure uses."""
     scale = scale or current_scale()
     n = n_ops if n_ops is not None else scale.ops_for(mixture, key_range)
     reps = repeats if repeats is not None else scale.repeats
@@ -85,7 +90,7 @@ def run_point(structure_kind: str, mixture: Mixture, key_range: int,
         w = generate(mixture, key_range=key_range, n_ops=n, seed=1000 + rep)
         r = run_workload(structure_kind, w, team_size=team_size,
                          p_chunk=p_chunk, p_key=p_key, launch=launch,
-                         seed=rep)
+                         seed=rep, backend=backend)
         if r.oom:
             return Point(structure=r.structure, key_range=key_range,
                          mixture_name=mixture.name,

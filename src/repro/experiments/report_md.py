@@ -13,7 +13,6 @@ from __future__ import annotations
 import pathlib
 import sys
 
-from . import paper_data
 
 HEADER = """# EXPERIMENTS — paper vs. measured
 

@@ -42,6 +42,16 @@ class LaunchResult:
         return self.timing.mops
 
 
+def default_concurrency(device: DeviceConfig, occ: OccupancyResult,
+                        kernel_res: KernelResources) -> int:
+    """In-flight operation count for interleaved replay: the number of
+    resident teams, capped by the device's memory-parallelism limit
+    (threads queued on full MSHRs are not actively racing)."""
+    in_flight = (occ.active_warps_per_sm * device.num_sms
+                 * max(1, device.warp_size // kernel_res.lanes_per_op))
+    return max(1, min(in_flight, device.mshr_per_sm * device.num_sms))
+
+
 class GPUContext:
     """One simulated device: memory + tracer + cost model."""
 
@@ -93,11 +103,7 @@ class GPUContext:
             self.tracer.reset_stats()
         occ = compute_occupancy(self.device, launch_cfg, kernel_res)
         if concurrency is None:
-            in_flight = (occ.active_warps_per_sm * self.device.num_sms
-                         * max(1, self.device.warp_size
-                               // kernel_res.lanes_per_op))
-            concurrency = min(in_flight,
-                              self.device.mshr_per_sm * self.device.num_sms)
+            concurrency = default_concurrency(self.device, occ, kernel_res)
         concurrency = max(1, concurrency)
 
         results: list[Any] = []

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .cache import L2Cache
 from .device import DeviceConfig
 from .memory import WORD_BYTES
@@ -135,6 +137,76 @@ class TransactionTracer:
         if atomic:
             self.stats.atomic_ops += 1
         return ntrans
+
+    def access_words_batch(self, addrs, n_words: int, *, coalesced: bool,
+                           atomic: bool = False) -> int:
+        """Record one access of ``n_words`` words for every address in
+        ``addrs`` — the batched equivalent of looping :meth:`access_words`.
+
+        Used by the vectorized batch engine: one wave step issues many
+        homogeneous accesses at once.  Classification is identical to the
+        sequential loop except that a line (or TLB page) already touched
+        *within the same batch* counts as a hit without consulting the
+        model again — faithful to hardware, where the first access of a
+        warp-synchronous wave leaves the line MRU-resident for the rest.
+        Returns the number of transactions issued.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        m = int(addrs.size)
+        if m == 0:
+            return 0
+        stats = self.stats
+
+        # TLB: run unique pages (first-occurrence order) through the LRU;
+        # repeats within the batch are guaranteed hits.
+        pages = addrs // self.tlb_page_words
+        uniq_pages, first_idx = np.unique(pages, return_index=True)
+        for page in uniq_pages[np.argsort(first_idx)].tolist():
+            tlb = self._tlb
+            if page in tlb:
+                del tlb[page]
+                tlb[page] = None
+                continue
+            stats.tlb_misses += 1
+            if len(tlb) >= self.tlb_entries:
+                tlb.pop(next(iter(tlb)))
+            tlb[page] = None
+
+        # Lines covered by each access (chunk accesses span 1–2 lines).
+        wpl = self.words_per_line
+        first = addrs // wpl
+        last = (addrs + (n_words - 1)) // wpl
+        counts = last - first + 1
+        total = int(counts.sum())
+        if total == m:
+            lines = first
+        else:
+            starts = np.repeat(first, counts)
+            offs = np.arange(total) - np.repeat(np.cumsum(counts) - counts,
+                                                counts)
+            lines = starts + offs
+        uniq_lines, first_idx = np.unique(lines, return_index=True)
+        hits = 0
+        for line in uniq_lines[np.argsort(first_idx)].tolist():
+            if self.l2.access(line):
+                hits += 1
+        dup_hits = total - int(uniq_lines.size)  # in-batch repeats: hits
+        misses = int(uniq_lines.size) - hits
+        stats.transactions += total
+        stats.l2_hit_transactions += hits + dup_hits
+        stats.dram_transactions += misses
+        if coalesced:
+            stats.l2_coalesced += hits + dup_hits
+            stats.dram_coalesced += misses
+            stats.coalesced_accesses += m
+        else:
+            stats.l2_scattered += hits + dup_hits
+            stats.dram_scattered += misses
+            stats.scalar_accesses += m
+        if atomic:
+            stats.atomic_ops += m
+        stats.bytes_requested += m * n_words * WORD_BYTES
+        return total
 
     def record_atomic_conflicts(self, n: int) -> None:
         """Record ``n`` serialized same-destination atomics in one warp."""

@@ -20,7 +20,7 @@ tests as an independent execution engine that must preserve semantics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator, Sequence
 
 from . import events as ev

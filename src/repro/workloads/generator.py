@@ -82,11 +82,19 @@ class Workload:
     prefill: np.ndarray      # keys present before the measured kernel
     ops: np.ndarray          # op codes (Op values)
     keys: np.ndarray         # one key per op
+    values: np.ndarray | None = None   # insert payload per op
 
     @property
     def n_ops(self) -> int:
         """Number of operations in the array."""
         return int(self.ops.size)
+
+    def to_batch(self):
+        """This workload's op array as a zero-copy engine
+        :class:`~repro.engine.batch.OpBatch` (lazy import — the engine
+        package must not be imported at workloads import time)."""
+        from ..engine.batch import OpBatch
+        return OpBatch.from_workload(self)
 
 
 def prefill_for(mixture: Mixture, key_range: int,
@@ -136,6 +144,13 @@ def generate(mixture: Mixture, key_range: int, n_ops: int,
     these runs to the key range so each key is deleted about once).
     ``distribution`` selects uniform keys (the paper's setting) or
     ``"zipf"`` skewed keys (extension; see :func:`zipf_keys`).
+
+    Every draw — prefill, op codes, keys (all distribution paths), and
+    insert payloads, in that order — comes from the single
+    ``np.random.default_rng(seed)`` instance created here, so one seed
+    fully determines the workload (and hence the ``OpBatch`` built from
+    it).  New draws must be appended after the existing ones to keep
+    historical seeds stable.
     """
     if key_range < 4:
         raise ValueError("key range too small")
@@ -155,5 +170,8 @@ def generate(mixture: Mixture, key_range: int, n_ops: int,
                                          dtype=np.int64))[:n_ops]
     else:
         keys = rng.integers(1, key_range + 1, size=n_ops, dtype=np.int64)
+    # Insert payloads (32-bit user values); drawn last so pre-existing
+    # seeds keep producing the same prefill/ops/keys arrays.
+    values = rng.integers(1, 2**31, size=n_ops, dtype=np.int64)
     return Workload(key_range=key_range, mixture=mixture,
-                    prefill=prefill, ops=ops, keys=keys)
+                    prefill=prefill, ops=ops, keys=keys, values=values)

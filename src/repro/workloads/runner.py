@@ -21,17 +21,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..baseline import MC_KERNEL, MCSkiplist
-from ..baseline import bulk_build_into as mc_bulk
-from ..baseline import warm_structure as mc_warm
 from ..baseline.node import HEADER_WORDS
-from ..core import GFSL, GFSL_KERNEL, bulk_build_into, suggest_capacity
-from ..core.bulk import DEFAULT_FILL, _per_chunk, warm_structure
+from ..core import GFSL, GFSL_KERNEL
+from ..core.bulk import DEFAULT_FILL, _per_chunk
+from ..engine import Backend, OpBatch, make_backend, make_structure
 from ..gpu import DeviceConfig, LaunchConfig, TraceStats
+from ..gpu.kernel import default_concurrency
 from ..gpu.occupancy import compute_occupancy
-from .generator import Mixture, Op, Workload
+from .generator import Mixture, Workload
 
 # GTX 970's usable fast segment (the infamous 3.5+0.5 GB split, minus
 # driver/runtime reservations) — governs the paper-scale OOM points:
@@ -95,43 +93,21 @@ def mc_paper_scale_feasible(key_range: int, mixture: Mixture,
 def build_gfsl(workload: Workload, team_size: int = 32,
                p_chunk: float = 1.0, device: DeviceConfig | None = None,
                seed: int = 0) -> GFSL:
-    """Bulk-build the prefilled GFSL for a workload and warm the L2."""
-    expected = len(workload.prefill) + int(
-        np.count_nonzero(workload.ops == Op.INSERT)) + 8
-    sl = GFSL(capacity_chunks=suggest_capacity(max(expected, 64), team_size),
-              team_size=team_size, p_chunk=p_chunk, device=device, seed=seed)
-    if len(workload.prefill):
-        bulk_build_into(sl, [(int(k), 0) for k in workload.prefill],
-                        rng=sl.rng)
-    warm_structure(sl)
-    return sl
+    """Bulk-build the prefilled GFSL for a workload and warm the L2.
+
+    Thin wrapper over the engine's structure registry
+    (:func:`repro.engine.make_structure`), kept for callers that want the
+    structure-specific signature."""
+    return make_structure("gfsl", workload, team_size=team_size,
+                          p_chunk=p_chunk, device=device, seed=seed)
 
 
 def build_mc(workload: Workload, p_key: float = 0.5,
              device: DeviceConfig | None = None, seed: int = 0) -> MCSkiplist:
-    """Bulk-build the prefilled M&C skiplist and warm the L2."""
-    expected = len(workload.prefill) + int(
-        np.count_nonzero(workload.ops == Op.INSERT)) + 8
-    capacity = expected * (HEADER_WORDS + 4) * 2 + 8192
-    mc = MCSkiplist(capacity_words=capacity, p_key=p_key, device=device,
-                    seed=seed)
-    if len(workload.prefill):
-        mc_bulk(mc, [(int(k), 0) for k in workload.prefill], rng=mc.rng)
-    mc_warm(mc)
-    return mc
-
-
-def _op_gens(structure, workload: Workload):
-    makers = []
-    for op, key in zip(workload.ops, workload.keys):
-        k = int(key)
-        if op == Op.CONTAINS:
-            makers.append(lambda k=k: structure.contains_gen(k))
-        elif op == Op.INSERT:
-            makers.append(lambda k=k: structure.insert_gen(k))
-        else:
-            makers.append(lambda k=k: structure.delete_gen(k))
-    return makers
+    """Bulk-build the prefilled M&C skiplist and warm the L2 (thin
+    wrapper over :func:`repro.engine.make_structure`)."""
+    return make_structure("mc", workload, p_key=p_key, device=device,
+                          seed=seed)
 
 
 def contention_serial_cycles(device: DeviceConfig, occ, kernel,
@@ -167,9 +143,21 @@ def run_workload(structure_kind: str, workload: Workload,
                  launch: LaunchConfig | None = None,
                  device: DeviceConfig | None = None,
                  seed: int = 0,
-                 enforce_paper_oom: bool = True) -> RunResult:
+                 enforce_paper_oom: bool = True,
+                 backend: str | Backend = "interleaved") -> RunResult:
     """Execute one benchmark point.  ``structure_kind`` is ``"gfsl"`` or
-    ``"mc"``."""
+    ``"mc"``.
+
+    ``backend`` selects the batch-engine execution path (name from
+    :func:`repro.engine.available_backends` or a ready
+    :class:`~repro.engine.Backend` instance).  The default
+    ``"interleaved"`` replays ops in waves sized by the device's
+    memory-parallelism limit — the mechanics of ``GPUContext.launch``,
+    and the setting every published figure uses.  All backends agree on
+    per-op outcomes; they differ in replay wall-clock and in which
+    conflict effects appear organically in the trace (the analytic
+    contention charge below is applied identically either way).
+    """
     device = device or DeviceConfig.gtx970()
     if structure_kind == "gfsl":
         kernel = GFSL_KERNEL
@@ -209,20 +197,30 @@ def run_workload(structure_kind: str, workload: Workload,
     occ = compute_occupancy(device, launch, kernel)
     extra = contention_serial_cycles(device, occ, kernel, workload, slots,
                                      conflict)
-    result = st.ctx.launch(_op_gens(st, workload), launch, kernel,
-                           extra_serial_cycles=extra)
-    stats = result.stats
+    if isinstance(backend, str):
+        kwargs = {}
+        if backend == "interleaved":
+            kwargs["concurrency"] = default_concurrency(device, occ, kernel)
+        engine = make_backend(backend, **kwargs)
+    else:
+        engine = backend
+    st.ctx.tracer.reset_stats()
+    engine.execute(st, OpBatch.from_workload(workload))
+    stats = st.ctx.tracer.stats
+    timing = st.ctx.cost_model.evaluate(
+        stats, occ, ops=workload.n_ops, kernel=kernel,
+        extra_serial_cycles=extra)
     return RunResult(
         structure=label,
         team_size=team_size if structure_kind == "gfsl" else 32,
         key_range=workload.key_range,
         mixture_name=workload.mixture.name,
         n_ops=workload.n_ops,
-        mops=result.timing.mops,
-        seconds=result.timing.seconds,
+        mops=timing.mops,
+        seconds=timing.seconds,
         stats=stats,
-        bottleneck=result.timing.bottleneck,
-        occupancy=result.timing.achieved_occupancy,
+        bottleneck=timing.bottleneck,
+        occupancy=timing.achieved_occupancy,
         l2_hit_rate=stats.l2_hit_rate,
         transactions_per_op=stats.transactions / max(1, workload.n_ops),
     )

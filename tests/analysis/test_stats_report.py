@@ -6,9 +6,8 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.analysis import (Summary, geometric_mean, human_range,
-                            render_series, render_table, speedup, summarize,
-                            t_critical_95)
+from repro.analysis import (geometric_mean, human_range, render_series,
+    render_table, speedup, summarize, t_critical_95)
 
 
 class TestSummarize:

@@ -5,8 +5,8 @@ import pytest
 
 from repro.core import constants as C
 from repro.core.chunk import (ChunkGeometry, data_keys, is_locked, is_zombie,
-                              keys_vec, live_data, lock_state, max_field,
-                              next_ptr, num_live_entries, pack_next, vals_vec)
+    live_data, lock_state, max_field, next_ptr, num_live_entries, pack_next,
+    vals_vec)
 
 
 class TestConstants:

@@ -8,10 +8,9 @@ contention, and the lock-free Contains path.
 
 import random
 
-import numpy as np
 import pytest
 
-from repro.core import GFSL, bulk_build_into, suggest_capacity, validate_structure
+from repro.core import GFSL, bulk_build_into, validate_structure
 
 
 def build(prefill, team_size=16, seed=1, cap=2048):

@@ -1,7 +1,6 @@
 """Tests for the beyond-paper extensions: range queries, priority-queue
 support, and stop-the-world compaction (the paper's future-work item)."""
 
-import random
 
 import pytest
 

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.core import GFSL, suggest_capacity, validate_structure
+from repro.core import GFSL, validate_structure
 from repro.core import constants as C
 
 

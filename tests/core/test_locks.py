@@ -1,6 +1,5 @@
 """Unit tests for the chunk locking protocol (Algorithm 4.8)."""
 
-import pytest
 
 from repro.core import GFSL, bulk_build_into
 from repro.core import constants as C

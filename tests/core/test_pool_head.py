@@ -1,6 +1,5 @@
 """Tests for the memory layout, chunk pool, and head array."""
 
-import numpy as np
 import pytest
 
 from repro.core import constants as C

@@ -1,7 +1,6 @@
 """Property-based tests: GFSL against a model set, plus structural
 invariants after arbitrary operation sequences."""
 
-import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

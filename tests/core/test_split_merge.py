@@ -8,7 +8,6 @@ orders, and they check the structural outcomes of forced splits/merges.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import GFSL, validate_structure
 from repro.core import constants as C

@@ -3,7 +3,6 @@ sequences against GFSL and the M&C baseline, checking every response
 against a model dict and re-validating structure invariants at the end
 of each program."""
 
-import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (RuleBasedStateMachine, invariant,

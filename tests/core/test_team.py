@@ -11,7 +11,7 @@ from hypothesis import strategies as st
 
 from repro.core import constants as C
 from repro.core import team
-from repro.core.chunk import ChunkGeometry, pack_next
+from repro.core.chunk import ChunkGeometry
 
 from .test_chunk import make_chunk
 

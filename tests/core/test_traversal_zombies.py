@@ -1,12 +1,10 @@
 """Traversal behaviour on crafted structures: zombie skipping, lazy
 unlinking, head replacement, backtracks, and the lock-free restart."""
 
-import numpy as np
-import pytest
 
 from repro.core import GFSL, bulk_build_into, validate_structure
 from repro.core import constants as C
-from repro.core.chunk import keys_vec, pack_next
+from repro.core.chunk import keys_vec
 from repro.core.traversal import search_down, search_lateral, search_slow
 from repro.core.validate import (head_ptr_host, level_chain, read_chunk_host)
 from repro.gpu import events as ev

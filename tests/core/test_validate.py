@@ -1,7 +1,6 @@
 """The validators must actually catch corruption — seed defects into a
 healthy structure and check each invariant fires."""
 
-import numpy as np
 import pytest
 
 from repro.core import (GFSL, InvariantViolation, bulk_build_into,

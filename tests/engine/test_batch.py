@@ -1,0 +1,69 @@
+"""Unit tests for the SoA operation batch."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (OP_CONTAINS, OP_DELETE, OP_INSERT, OpBatch)
+from repro.workloads import MIX_10_10_80, Op, generate
+
+
+class TestOpCodes:
+    def test_codes_match_workload_enum(self):
+        """The engine re-declares the op codes as ints (to stay
+        importable without the workloads package); they must track
+        ``workloads.Op`` by value."""
+        assert OP_CONTAINS == int(Op.CONTAINS)
+        assert OP_INSERT == int(Op.INSERT)
+        assert OP_DELETE == int(Op.DELETE)
+
+
+class TestConstruction:
+    def test_zero_copy_from_workload(self):
+        w = generate(MIX_10_10_80, key_range=1000, n_ops=200, seed=1)
+        b = OpBatch.from_workload(w)
+        assert np.shares_memory(b.ops, w.ops)
+        assert np.shares_memory(b.keys, w.keys)
+        assert np.shares_memory(b.values, w.values)
+        assert len(b) == 200
+
+    def test_values_default_to_zero(self):
+        b = OpBatch(ops=[OP_INSERT, OP_DELETE], keys=[1, 2])
+        assert b.values.tolist() == [0, 0]
+        assert b.values.dtype == np.int64
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            OpBatch(ops=[OP_INSERT], keys=[1, 2])
+        with pytest.raises(ValueError):
+            OpBatch(ops=[OP_INSERT], keys=[1], values=[1, 2])
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            OpBatch(ops=[7], keys=[1])
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError):
+            OpBatch(ops=[[OP_INSERT]], keys=[[1]])
+
+    def test_from_pairs(self):
+        b = OpBatch.from_pairs([(OP_INSERT, 10, 99), (OP_CONTAINS, 10)])
+        assert b.ops.tolist() == [OP_INSERT, OP_CONTAINS]
+        assert b.keys.tolist() == [10, 10]
+        assert b.values.tolist() == [99, 0]
+
+
+class TestViews:
+    def test_slice_is_sub_batch_view(self):
+        b = OpBatch.from_pairs([(OP_INSERT, k) for k in range(10)])
+        sub = b[2:5]
+        assert isinstance(sub, OpBatch)
+        assert len(sub) == 3
+        assert sub.keys.tolist() == [2, 3, 4]
+        assert np.shares_memory(sub.keys, b.keys)
+
+    def test_counts_and_update_fraction(self):
+        b = OpBatch.from_pairs([(OP_CONTAINS, 1), (OP_CONTAINS, 2),
+                                (OP_INSERT, 3), (OP_DELETE, 4)])
+        assert b.counts() == {"contains": 2, "insert": 1, "delete": 1}
+        assert b.update_fraction == pytest.approx(0.5)
+        assert OpBatch(ops=[], keys=[]).update_fraction == 0.0

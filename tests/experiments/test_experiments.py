@@ -5,13 +5,11 @@ suite; here we pin the harness machinery and the claims that are cheap
 to check.
 """
 
-import math
 
-import pytest
 
 from repro.experiments import SCALES, ablations, figures, paper_data, tables
 from repro.experiments.harness import Scale, run_point, run_range_series
-from repro.workloads import CONTAINS_ONLY, MIX_10_10_80, MIX_20_20_60
+from repro.workloads import CONTAINS_ONLY, MIX_10_10_80
 
 TINY = Scale("tiny", (5_000, 100_000), 250, 1)
 

@@ -1,8 +1,6 @@
 """Tests for the EXPERIMENTS.md generator."""
 
-import pathlib
 
-import pytest
 
 from repro.experiments import report_md
 

@@ -1,6 +1,5 @@
 """Tests for the event executor and the interleaving scheduler."""
 
-import numpy as np
 import pytest
 
 from repro.gpu import events as ev

@@ -1,6 +1,5 @@
 """Tests for transaction accounting: coalescing, classification, TLB."""
 
-import pytest
 
 from repro.gpu.device import DeviceConfig
 from repro.gpu.tracer import TraceStats, TransactionTracer

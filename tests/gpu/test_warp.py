@@ -1,6 +1,5 @@
 """Tests for the warp-lockstep executor."""
 
-import numpy as np
 import pytest
 
 from repro.gpu import events as ev

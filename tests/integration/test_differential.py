@@ -120,7 +120,6 @@ class TestPughOracleItself:
     def test_logarithmic_cost_shape(self):
         """Traversal visits grow ~logarithmically with size — the cost
         shape GFSL flattens further by chunking."""
-        import math
         p = PughSkiplist(seed=3)
         sizes = (200, 3200)
         per_size = []

@@ -1,10 +1,8 @@
 """Integration tests across subsystems: GFSL and M&C driven through the
 full benchmark pipeline, cross-checked against each other."""
 
-import math
 import random
 
-import numpy as np
 import pytest
 
 from repro.baseline import MCSkiplist

@@ -16,14 +16,12 @@ memoization over (used-mask, present) states.
 
 from __future__ import annotations
 
-import itertools
 import random
 from dataclasses import dataclass
 
-import numpy as np
 import pytest
 
-from repro.core import GFSL, bulk_build_into, validate_structure
+from repro.core import GFSL, bulk_build_into
 
 
 @dataclass(frozen=True)

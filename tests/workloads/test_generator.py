@@ -97,6 +97,40 @@ class TestGenerate:
             generate(MIX_10_10_80, key_range=2, n_ops=10)
 
 
+class TestRNGDeterminism:
+    """One seed fully determines the workload — every distribution path
+    draws from the single ``default_rng(seed)`` instance."""
+
+    @pytest.mark.parametrize("dist", ["uniform", "zipf"])
+    def test_same_seed_identical_opbatch(self, dist):
+        kw = dict(key_range=2_000, n_ops=400, seed=11, distribution=dist)
+        wa = generate(MIX_10_10_80, **kw)
+        wb = generate(MIX_10_10_80, **kw)
+        assert np.array_equal(wa.prefill, wb.prefill)
+        a, b = wa.to_batch(), wb.to_batch()
+        assert np.array_equal(a.ops, b.ops)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.values, b.values)
+
+    def test_delete_only_path_seeded(self):
+        a = generate(DELETE_ONLY, key_range=300, n_ops=300, seed=9)
+        b = generate(DELETE_ONLY, key_range=300, n_ops=300, seed=9)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.values, b.values)
+
+    def test_values_vary_with_seed(self):
+        a = generate(MIX_10_10_80, 1000, 100, seed=1)
+        b = generate(MIX_10_10_80, 1000, 100, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_batch_is_zero_copy(self):
+        w = generate(MIX_10_10_80, 1000, 100, seed=1)
+        batch = w.to_batch()
+        assert np.shares_memory(batch.keys, w.keys)
+        assert np.shares_memory(batch.ops, w.ops)
+        assert np.shares_memory(batch.values, w.values)
+
+
 class TestZipf:
     def test_skewed_distribution(self):
         from repro.workloads import zipf_keys

@@ -2,16 +2,14 @@
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.baseline import MC_KERNEL
 from repro.core import GFSL_KERNEL
 from repro.gpu import DeviceConfig, LaunchConfig
 from repro.gpu.occupancy import compute_occupancy
 from repro.workloads import (CONTAINS_ONLY, DELETE_ONLY, INSERT_ONLY,
-                             MIX_10_10_80, MIX_20_20_60, Mixture, Op,
-                             generate, mc_paper_scale_feasible, run_workload)
+    MIX_10_10_80, MIX_20_20_60, generate, mc_paper_scale_feasible,
+    run_workload)
 from repro.workloads.runner import (build_gfsl, build_mc,
                                     contention_serial_cycles)
 
