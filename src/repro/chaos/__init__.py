@@ -1,0 +1,56 @@
+"""``repro.chaos`` — adversarial scheduling, fault injection, and
+linearizability checking for the concurrent GFSL paths.
+
+The engine backends exercise only the interleavings their schedulers
+happen to produce; this package makes concurrency bugs *reproducible*
+and *detectable*:
+
+* :mod:`~repro.chaos.faults` — a seeded :class:`FaultInjector` threaded
+  through the core lock/traversal/split/merge code and the interleaving
+  scheduler.  It stalls lock holders, preempts teams between chunk
+  reads, spuriously fails lock CAS, and skips scheduler turns — each an
+  extra window for a real race to land in.
+* :mod:`~repro.chaos.linearize` — a history recorder plus a Wing–Gong
+  style linearizability checker (per-key decomposition, overlap-group
+  interval pruning, memoized exact search) verified against a
+  sequential map oracle.
+* :mod:`~repro.chaos.watchdog` — bounded-retry/backoff accounting and a
+  livelock detector that surfaces stuck-op diagnostics (holder, chunk,
+  retry counts, zombie-chain length) instead of hanging.
+* :mod:`~repro.chaos.backend` — the ``interleaved-chaos`` engine
+  backend: the interleaved replay with injection + history recording.
+  With zero faults configured it is event-for-event identical to
+  ``interleaved``.
+* :mod:`~repro.chaos.campaign` — seeded adversarial campaigns
+  (``python -m repro chaos``) and a shrinker that reduces a failing
+  seed to a minimal reproducing configuration.
+"""
+
+from .backend import ChaosBackend
+from .campaign import (CampaignConfig, CampaignReport, repro_command,
+                       run_campaign, shrink_campaign)
+from .faults import FAULT_KINDS, ChaosConfig, FaultInjector
+from .linearize import (HistoryEvent, HistoryRecorder, LinearizabilityReport,
+                        Violation, check_history, check_key_history)
+from .watchdog import LivelockDetected, StuckOpDiagnostics, Watchdog
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosConfig",
+    "FaultInjector",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "LinearizabilityReport",
+    "Violation",
+    "check_history",
+    "check_key_history",
+    "LivelockDetected",
+    "StuckOpDiagnostics",
+    "Watchdog",
+    "ChaosBackend",
+    "CampaignConfig",
+    "CampaignReport",
+    "run_campaign",
+    "shrink_campaign",
+    "repro_command",
+]

@@ -1,0 +1,119 @@
+"""The ``interleaved-chaos`` batch-engine backend.
+
+Identical wave mechanics to
+:class:`~repro.engine.backends.InterleavedBackend` — same default
+concurrency, same per-wave scheduler construction, same result order —
+plus the chaos instrumentation:
+
+* a seeded :class:`~repro.chaos.faults.FaultInjector` is attached to
+  the structure (``structure.chaos``) and to each wave's scheduler, so
+  every injection point in core and scheduler code is live,
+* every operation's invocation/response interval is recorded into a
+  :class:`~repro.chaos.linearize.HistoryRecorder` (wave step stamps are
+  offset so intervals stay totally ordered across waves — waves really
+  do run back-to-back),
+* a :class:`~repro.chaos.watchdog.Watchdog` turns livelock into
+  diagnosed :class:`~repro.chaos.watchdog.LivelockDetected`.
+
+With the default zero-fault config the event stream, the schedule, and
+therefore the per-op results are **byte-identical** to ``interleaved``
+(a differential test pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..engine.backends import BatchResult
+from ..engine.batch import OP_NAMES, OpBatch
+from ..engine.interface import ConcurrentMap, op_generator
+from ..gpu.scheduler import InterleavingScheduler
+from .faults import ChaosConfig, FaultInjector
+from .linearize import HistoryRecorder
+from .watchdog import Watchdog
+
+
+class ChaosBackend:
+    """Interleaved replay with fault injection + history recording.
+
+    Parameters mirror ``InterleavedBackend`` (``concurrency``,
+    ``seed``), plus ``config``/``chaos_seed`` for the injector,
+    ``task_step_budget`` for the watchdog, and ``trace`` (campaigns
+    disable cost accounting — correctness runs don't need the tracer).
+
+    After :meth:`execute`, ``self.recorder`` holds the recorded history
+    and ``self.injector`` the fault accounting of the last batch.
+    """
+
+    name = "interleaved-chaos"
+
+    def __init__(self, concurrency: int | None = None,
+                 seed: int | None = None,
+                 config: ChaosConfig | None = None,
+                 chaos_seed: int = 0,
+                 task_step_budget: int = 2_000_000,
+                 trace: bool = True):
+        self.concurrency = concurrency
+        self.seed = seed
+        self.config = config or ChaosConfig()
+        self.chaos_seed = chaos_seed
+        self.task_step_budget = task_step_budget
+        self.trace = trace
+        self.recorder: HistoryRecorder | None = None
+        self.injector: FaultInjector | None = None
+
+    def execute(self, structure: ConcurrentMap,
+                batch: OpBatch) -> BatchResult:
+        ctx = structure.ctx
+        conc = self.concurrency
+        if conc is None:
+            conc = ctx.device.mshr_per_sm * ctx.device.num_sms
+        conc = max(1, int(conc))
+
+        ops = batch.ops.tolist()
+        keys = batch.keys.tolist()
+        values = batch.values.tolist()
+        labels = {i: f"{OP_NAMES[op]}({key})"
+                  for i, (op, key) in enumerate(zip(ops, keys))}
+
+        injector = FaultInjector(self.config, seed=self.chaos_seed)
+        recorder = HistoryRecorder()
+        watchdog = Watchdog(stats=structure.op_stats, injector=injector,
+                            task_step_budget=self.task_step_budget,
+                            labels=labels)
+        self.injector = injector
+        self.recorder = recorder
+
+        tracer = ctx.tracer if self.trace else None
+        results: list[Any] = []
+        waves = 0
+        step_base = 0
+        prev_chaos = getattr(structure, "chaos", None)
+        structure.chaos = injector
+        try:
+            for start in range(0, len(ops), conc):
+                sched = InterleavingScheduler(ctx.mem, tracer,
+                                              seed=self.seed,
+                                              injector=injector,
+                                              watchdog=watchdog)
+                end = min(start + conc, len(ops))
+                # Task ids restart at 0 each wave; relabel accordingly.
+                watchdog.labels = {j: labels[start + j]
+                                   for j in range(end - start)}
+                for i in range(start, end):
+                    sched.spawn(op_generator(structure, ops[i], keys[i],
+                                             values[i]))
+                wave_results = sched.run()
+                wave_end = step_base
+                for r in wave_results:
+                    i = start + r.task_id
+                    recorder.record(OP_NAMES[ops[i]], keys[i], r.value,
+                                    step_base + r.start_step,
+                                    step_base + r.end_step)
+                    wave_end = max(wave_end, step_base + r.end_step)
+                results.extend(r.value for r in wave_results)
+                step_base = wave_end + 1
+                waves += 1
+        finally:
+            structure.chaos = prev_chaos
+        return BatchResult(results=results, backend=self.name, waves=waves)

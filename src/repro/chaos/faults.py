@@ -1,0 +1,180 @@
+"""Seeded fault injection for the concurrent GFSL paths.
+
+A :class:`FaultInjector` is attached to a structure as ``sl.chaos``;
+the core code consults it at fixed *injection points* (catalogued in
+DESIGN.md §9).  Every decision is drawn from the injector's own seeded
+RNG, so a campaign is reproducible from ``(workload seed, chaos seed)``
+alone.  When no injector is attached — or every rate is zero — the
+injection points are inert and the event stream is identical to an
+uninstrumented run (the ``interleaved-chaos`` ≡ ``interleaved``
+differential guarantee).
+
+Injection point kinds
+---------------------
+``stall_lock_holder``
+    After a successful lock CAS the holder burns ``stall_events``
+    compute slots — every spinner gets extra turns while the critical
+    section is open (``core/locks.py``).
+``preempt_traversal``
+    Extra yield points between consecutive chunk reads, widening the
+    window in which a split/merge/delete can land under a traversal
+    (``core/traversal.py``).
+``fail_lock_cas``
+    A lock CAS attempt spuriously reports failure without touching
+    memory, exercising every retry loop (``core/locks.py``).
+``stall_split`` / ``stall_merge``
+    Stalls inside the multi-chunk critical sections of Algorithms
+    4.9/4.12 while two or three locks are held
+    (``core/insert.py`` / ``core/delete.py``).
+``preempt_scheduler``
+    The interleaving scheduler skips a task's turn for a round —
+    coarse-grained preemption on top of the event-level interleaving
+    (``gpu/scheduler.py``).
+
+Split/merge *pressure* is not an injection point but a campaign knob:
+tiny chunks (``team_size=8``) and ``p_chunk=1.0`` make structural
+operations constant rather than rare.
+
+``ChaosConfig.bug`` deliberately plants a known bug (e.g.
+``skip-zombie-recheck``) so tests can prove the checker catches real
+violations; see :data:`PLANTED_BUGS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+import numpy as np
+
+from ..gpu import events as ev
+
+#: Every injection-point kind, in catalog order.
+FAULT_KINDS = ("stall_lock_holder", "preempt_traversal", "fail_lock_cas",
+               "stall_split", "stall_merge", "preempt_scheduler")
+
+#: Deliberately plantable bugs (for validating the checker, never on by
+#: default).  ``skip-zombie-recheck`` makes the bottom-level lateral
+#: search treat frozen zombie chunks as live — a contains can then
+#: observe a deleted key (or miss a live one), which the
+#: linearizability checker must flag.
+PLANTED_BUGS = ("skip-zombie-recheck",)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-kind fault rates (probabilities per injection-point visit)
+    plus stall shape and an optional planted bug."""
+
+    stall_lock_holder: float = 0.0
+    preempt_traversal: float = 0.0
+    fail_lock_cas: float = 0.0
+    stall_split: float = 0.0
+    stall_merge: float = 0.0
+    preempt_scheduler: float = 0.0
+    stall_events: int = 12      # length of one injected stall
+    bug: str | None = None      # a PLANTED_BUGS entry, or None
+
+    def __post_init__(self):
+        for kind in FAULT_KINDS:
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 0.95:
+                raise ValueError(f"{kind} rate {rate} outside [0, 0.95] "
+                                 "(1.0 would livelock the scheduler)")
+        if self.stall_events < 1:
+            raise ValueError("stall_events must be positive")
+        if self.bug is not None and self.bug not in PLANTED_BUGS:
+            raise ValueError(f"unknown planted bug {self.bug!r} "
+                             f"(available: {', '.join(PLANTED_BUGS)})")
+
+    @classmethod
+    def adversarial(cls, intensity: float = 1.0, *,
+                    bug: str | None = None) -> "ChaosConfig":
+        """The default campaign mix: every kind active, scaled by
+        ``intensity`` (1.0 ≈ a fault every few ops at chunk granularity)."""
+        s = float(intensity)
+        return cls(stall_lock_holder=min(0.95, 0.05 * s),
+                   preempt_traversal=min(0.95, 0.03 * s),
+                   fail_lock_cas=min(0.95, 0.05 * s),
+                   stall_split=min(0.95, 0.25 * s),
+                   stall_merge=min(0.95, 0.25 * s),
+                   preempt_scheduler=min(0.95, 0.02 * s),
+                   bug=bug)
+
+    def without(self, kind: str) -> "ChaosConfig":
+        """A copy with one fault kind disabled (used by the shrinker)."""
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        return replace(self, **{kind: 0.0})
+
+    def active_kinds(self) -> tuple[str, ...]:
+        return tuple(k for k in FAULT_KINDS if getattr(self, k) > 0.0)
+
+    def is_zero(self) -> bool:
+        return not self.active_kinds() and self.bug is None
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class FaultInjector:
+    """Draws seeded fault decisions and keeps the accounting the
+    watchdog and campaign reports read.
+
+    ``current_task`` is stamped by the interleaving scheduler before it
+    advances a task, which lets :meth:`note_lock` attribute lock
+    ownership to a concrete in-flight operation — the ``owner`` a
+    :class:`~repro.core.locks.LockTimeout` reports.
+    """
+
+    def __init__(self, config: ChaosConfig | None = None, seed: int = 0):
+        self.config = config or ChaosConfig()
+        self.rng = np.random.default_rng(seed)
+        self.counts: dict[str, int] = {k: 0 for k in FAULT_KINDS}
+        self.current_task: int | None = None
+        self.lock_owners: dict[int, int | None] = {}
+
+    # -- decision points -------------------------------------------------
+    def _fire(self, kind: str) -> bool:
+        rate = getattr(self.config, kind)
+        if rate <= 0.0:
+            return False
+        if self.rng.random() >= rate:
+            return False
+        self.counts[kind] += 1
+        return True
+
+    def stall(self, kind: str):
+        """Generator injection point: maybe burn ``stall_events`` compute
+        slots (each one a scheduling opportunity for other teams)."""
+        if self._fire(kind):
+            for _ in range(self.config.stall_events):
+                yield ev.Compute(1)
+
+    def spurious_cas_fail(self) -> bool:
+        """Should this lock CAS attempt pretend to lose?"""
+        return self._fire("fail_lock_cas")
+
+    def skip_turn(self) -> bool:
+        """Should the scheduler preempt this task for one round?"""
+        return self._fire("preempt_scheduler")
+
+    def bug_active(self, name: str) -> bool:
+        return self.config.bug == name
+
+    # -- lock-ownership notes (watchdog / LockTimeout diagnostics) --------
+    def note_lock(self, ptr: int) -> None:
+        self.lock_owners[ptr] = self.current_task
+
+    def note_unlock(self, ptr: int) -> None:
+        self.lock_owners.pop(ptr, None)
+
+    def owner_of(self, ptr: int) -> int | None:
+        return self.lock_owners.get(ptr)
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def kinds_injected(self) -> tuple[str, ...]:
+        return tuple(k for k in FAULT_KINDS if self.counts[k] > 0)

@@ -1,0 +1,249 @@
+"""History recording and linearizability checking for set histories.
+
+The interleaving scheduler stamps each operation's invocation and
+response with global step numbers, yielding a concurrent *history*.
+The checker is Wing–Gong style — search for a legal linearization by
+repeatedly picking a minimal (by real-time order) unlinearized
+operation and replaying it against a sequential oracle — with two
+prunings that keep it exact yet fast:
+
+* **Per-key decomposition.**  Set operations on distinct keys commute,
+  so a history is linearizable iff each per-key sub-history is
+  linearizable against a single-key register oracle (insert succeeds
+  iff absent, delete iff present, contains reports presence) that
+  starts at the key's prefill state and ends at its observed final
+  state.
+* **Interval pruning.**  Within a key, sort events by invocation and
+  cut the history at *quiescent points* — instants where every earlier
+  operation has responded before every later one is invoked.  Each
+  overlap group is searched independently (memoized over
+  ``(linearized-mask, present)`` states), threading the set of feasible
+  register states from group to group.  Group sizes are bounded by how
+  many operations on one key genuinely overlap, so the exact search
+  stays tiny even for 10k-op campaigns.
+
+A search that still explodes (``MAX_VISITS`` states) falls back to a
+*net-effect* check for that key — prefill + successful inserts −
+successful deletes must equal the final state — and the report counts
+the key under ``fallback_keys`` so a campaign never silently weakens
+its verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Per-key state-visit budget before falling back to the net-effect check.
+MAX_VISITS = 500_000
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One completed operation: name, key, result, and the scheduler
+    step stamps of its invocation and response."""
+
+    op: str              # "insert" / "delete" / "contains"
+    key: int
+    result: bool
+    start: int
+    end: int
+
+
+class HistoryRecorder:
+    """Accumulates :class:`HistoryEvent` entries across waves."""
+
+    def __init__(self):
+        self.events: list[HistoryEvent] = []
+
+    def record(self, op: str, key: int, result, start: int,
+               end: int) -> None:
+        self.events.append(HistoryEvent(op, int(key), bool(result),
+                                        int(start), int(end)))
+
+    def per_key(self) -> dict[int, list[HistoryEvent]]:
+        out: dict[int, list[HistoryEvent]] = {}
+        for e in self.events:
+            out.setdefault(e.key, []).append(e)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _replay(op: str, result: bool, present: bool) -> tuple[bool, bool]:
+    """Sequential register oracle: ``(is_consistent, new_present)``."""
+    if op == "insert":
+        return (result == (not present)), (present or result)
+    if op == "delete":
+        return (result == present), (present and not result)
+    if op == "contains":
+        return (result == present), present
+    raise ValueError(f"unknown operation {op!r}")
+
+
+def _overlap_groups(events: list[HistoryEvent]) -> list[list[HistoryEvent]]:
+    """Cut a per-key history at quiescent points.  Events are sorted by
+    invocation; a new group starts when an event is invoked strictly
+    after every earlier event responded."""
+    ordered = sorted(events, key=lambda e: (e.start, e.end))
+    groups: list[list[HistoryEvent]] = []
+    group_max_end = None
+    for e in ordered:
+        if group_max_end is None or e.start > group_max_end:
+            groups.append([])
+            group_max_end = e.end
+        else:
+            group_max_end = max(group_max_end, e.end)
+        groups[-1].append(e)
+    return groups
+
+
+class _SearchOverflow(Exception):
+    pass
+
+
+def _group_outcomes(group: list[HistoryEvent], initial: bool,
+                    budget: list[int]) -> set[bool]:
+    """Exact memoized search over one overlap group: the set of register
+    states a legal linearization can end in, starting from ``initial``.
+    Empty set ⇒ no legal linearization exists."""
+    n = len(group)
+    hb = [[group[i].end < group[j].start for j in range(n)]
+          for i in range(n)]
+    full = (1 << n) - 1
+    outcomes: set[bool] = set()
+    seen: set[tuple[int, bool]] = set()
+
+    def extend(mask: int, present: bool) -> None:
+        if mask == full:
+            outcomes.add(present)
+            return
+        state = (mask, present)
+        if state in seen:
+            return
+        seen.add(state)
+        budget[0] -= 1
+        if budget[0] <= 0:
+            raise _SearchOverflow
+        for i in range(n):
+            if mask >> i & 1:
+                continue
+            # Every real-time predecessor must already be linearized.
+            if any(hb[j][i] and not (mask >> j & 1) for j in range(n)):
+                continue
+            ok, nxt = _replay(group[i].op, group[i].result, present)
+            if ok:
+                extend(mask | (1 << i), nxt)
+
+    extend(0, initial)
+    return outcomes
+
+
+def _net_effect_ok(events: list[HistoryEvent], initial: bool,
+                   final: bool) -> bool:
+    """Fallback necessary condition.  Successful inserts and deletes on
+    one key must alternate (I,D,I,… from absent; D,I,D,… from present),
+    so their counts differ by at most one and the final state follows
+    from the difference."""
+    ins = sum(1 for e in events if e.op == "insert" and e.result)
+    dels = sum(1 for e in events if e.op == "delete" and e.result)
+    if initial:
+        return 0 <= dels - ins <= 1 and final == (dels == ins)
+    return 0 <= ins - dels <= 1 and final == (ins - dels == 1)
+
+
+def check_key_history(events: list[HistoryEvent], initial: bool,
+                      final: bool) -> bool:
+    """Exact per-key linearizability check with real-time constraints.
+
+    Raises :class:`_SearchOverflow`-free: overflow falls back to the
+    net-effect condition (see module docstring); callers that care use
+    :func:`check_history`, which reports fallback keys.
+    """
+    ok, fellback = _check_key(events, initial, final)
+    return ok
+
+
+def _check_key(events: list[HistoryEvent], initial: bool,
+               final: bool) -> tuple[bool, bool]:
+    """Returns ``(linearizable, used_fallback)``."""
+    if not events:
+        return initial == final, False
+    budget = [MAX_VISITS]
+    states = {initial}
+    try:
+        for group in _overlap_groups(events):
+            nxt: set[bool] = set()
+            for s in states:
+                nxt |= _group_outcomes(group, s, budget)
+            if not nxt:
+                return False, False
+            states = nxt
+        return final in states, False
+    except _SearchOverflow:
+        return _net_effect_ok(events, initial, final), True
+
+
+@dataclass
+class Violation:
+    """One non-linearizable per-key sub-history."""
+
+    key: int
+    events: list[HistoryEvent]
+    initial: bool
+    final: bool
+
+    def __str__(self) -> str:
+        lines = [f"key {self.key}: initial={self.initial} "
+                 f"final={self.final} — no legal linearization of:"]
+        for e in sorted(self.events, key=lambda e: e.start):
+            lines.append(f"  [{e.start:>8}, {e.end:>8}] "
+                         f"{e.op}({self.key}) -> {e.result}")
+        return "\n".join(lines)
+
+
+@dataclass
+class LinearizabilityReport:
+    """Verdict of one history check."""
+
+    ok: bool
+    checked_keys: int = 0
+    events: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    fallback_keys: int = 0
+
+    def summary(self) -> str:
+        verdict = "linearizable" if self.ok else (
+            f"NOT linearizable ({len(self.violations)} key(s))")
+        note = (f", {self.fallback_keys} key(s) via net-effect fallback"
+                if self.fallback_keys else "")
+        return (f"{self.events} events over {self.checked_keys} keys: "
+                f"{verdict}{note}")
+
+
+def check_history(recorder: HistoryRecorder | list[HistoryEvent],
+                  initial_keys, final_keys) -> LinearizabilityReport:
+    """Check a whole recorded history against prefill/final key sets."""
+    events = (recorder.events if isinstance(recorder, HistoryRecorder)
+              else list(recorder))
+    initial = set(int(k) for k in initial_keys)
+    final = set(int(k) for k in final_keys)
+    per_key: dict[int, list[HistoryEvent]] = {}
+    for e in events:
+        per_key.setdefault(e.key, []).append(e)
+    # Keys whose presence changed without any recorded op are violations
+    # too (a mutation leaked onto an untouched key).
+    for k in (initial ^ final) - set(per_key):
+        per_key[k] = []
+
+    report = LinearizabilityReport(ok=True, checked_keys=len(per_key),
+                                   events=len(events))
+    for k, evs in per_key.items():
+        ok, fellback = _check_key(evs, k in initial, k in final)
+        if fellback:
+            report.fallback_keys += 1
+        if not ok:
+            report.ok = False
+            report.violations.append(
+                Violation(k, evs, k in initial, k in final))
+    return report

@@ -14,6 +14,10 @@ Commands
 ``stress``
     Interleaved concurrency stress with invariant auditing (exits
     non-zero on any violation) — a fuzzing entry point.
+``chaos``
+    Seeded adversarial campaigns: fault injection + linearizability
+    checking + invariant auditing, with automatic seed shrinking on
+    failure (the standing correctness gate; see DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -158,6 +162,51 @@ def cmd_stress(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Seeded adversarial campaigns with linearizability checking."""
+    import time
+    from dataclasses import replace
+
+    from .chaos import (CampaignConfig, ChaosConfig, repro_command,
+                        run_campaign, shrink_campaign)
+
+    if args.no_faults:
+        faults = ChaosConfig(bug=args.bug)
+    else:
+        faults = ChaosConfig.adversarial(args.intensity, bug=args.bug)
+        for kind in args.disable:
+            faults = faults.without(kind)
+    base = CampaignConfig(n_ops=args.ops, key_range=args.range,
+                          mix=tuple(args.mix), team_size=args.team_size,
+                          p_chunk=args.p_chunk, seed=args.seed,
+                          concurrency=args.concurrency, faults=faults)
+
+    deadline = (time.monotonic() + args.seconds
+                if args.seconds is not None else None)
+    ran = 0
+    seed = args.seed
+    while True:
+        cfg = replace(base, seed=seed)
+        report = run_campaign(cfg)
+        print(report.summary())
+        if not report.ok:
+            if args.shrink:
+                print("shrinking failing campaign ...")
+                small = shrink_campaign(cfg)
+                print(f"shrunk repro (seed {small.seed}, {small.n_ops} ops, "
+                      f"conc {small.concurrency}):")
+                print("  " + repro_command(small))
+            return 1
+        ran += 1
+        seed += 1
+        done_count = deadline is None and ran >= args.campaigns
+        done_time = deadline is not None and time.monotonic() >= deadline
+        if done_count or done_time:
+            break
+    print(f"chaos OK: {ran} campaign(s), no violations")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Assemble the ``repro`` argument parser."""
     p = argparse.ArgumentParser(
@@ -200,6 +249,42 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--team-size", type=int, default=16)
     ps.add_argument("--seed", type=int, default=0)
     ps.set_defaults(func=cmd_stress)
+
+    from .chaos.faults import FAULT_KINDS, PLANTED_BUGS
+    pc = sub.add_parser(
+        "chaos", help="seeded adversarial campaign with linearizability "
+        "checking (exits non-zero on any violation)")
+    pc.add_argument("--ops", type=int, default=2_000,
+                    help="operations per campaign")
+    pc.add_argument("--range", type=int, default=150,
+                    help="key range (small = dense per-key histories)")
+    pc.add_argument("--mix", type=int, nargs=3, default=[20, 20, 60],
+                    metavar=("I", "D", "C"),
+                    help="insert/delete/contains percentages")
+    pc.add_argument("--team-size", type=int, default=8,
+                    help="entries per chunk (tiny = split/merge pressure)")
+    pc.add_argument("--p-chunk", type=float, default=1.0)
+    pc.add_argument("--concurrency", type=int, default=16,
+                    help="in-flight ops per wave")
+    pc.add_argument("--seed", type=int, default=0,
+                    help="workload + chaos seed of the first campaign")
+    pc.add_argument("--campaigns", type=int, default=1,
+                    help="consecutive seeds to run (ignored with --seconds)")
+    pc.add_argument("--seconds", type=float, default=None,
+                    help="run campaigns (seed, seed+1, ...) until this "
+                    "time budget is spent")
+    pc.add_argument("--intensity", type=float, default=1.0,
+                    help="scale factor on the default fault rates")
+    pc.add_argument("--disable", action="append", default=[],
+                    choices=FAULT_KINDS, metavar="KIND",
+                    help="disable one fault kind (repeatable)")
+    pc.add_argument("--no-faults", action="store_true",
+                    help="pure interleaving, no injected faults")
+    pc.add_argument("--bug", choices=PLANTED_BUGS, default=None,
+                    help="deliberately plant a known bug (checker demo)")
+    pc.add_argument("--no-shrink", dest="shrink", action="store_false",
+                    help="skip seed shrinking on failure")
+    pc.set_defaults(func=cmd_chaos, shrink=True)
     return p
 
 

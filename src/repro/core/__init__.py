@@ -9,12 +9,15 @@ from . import constants
 from .bulk import bulk_build_into, warm_structure
 from .chunk import ChunkGeometry
 from .gfsl import GFSL, GFSL_KERNEL, OpStats, suggest_capacity
+from .locks import LockTimeout
+from .traversal import RestartStorm
 from .validate import (InvariantViolation, bottom_items, count_zombies,
                        level_items, structure_height, validate_structure)
 
 __all__ = [
     "GFSL", "GFSL_KERNEL", "OpStats", "suggest_capacity", "ChunkGeometry",
     "bulk_build_into", "warm_structure", "constants", "InvariantViolation",
+    "LockTimeout", "RestartStorm",
     "bottom_items", "count_zombies", "level_items", "structure_height",
     "validate_structure",
 ]

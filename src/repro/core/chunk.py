@@ -111,6 +111,15 @@ def live_data(kvs: np.ndarray, geo: ChunkGeometry) -> np.ndarray:
     return kvs[: geo.dsize][dk != C.EMPTY_KEY]
 
 
+def has_user_keys(kvs: np.ndarray, geo: ChunkGeometry) -> bool:
+    """True if the chunk holds at least one real (user) key — the
+    *utilized* test of the head array's per-level chunk counters.  A
+    chunk holding only −∞ (a level's initial chunk) or nothing (a
+    drained last chunk) is not utilized."""
+    dk = data_keys(kvs, geo)
+    return bool(np.any((dk != C.EMPTY_KEY) & (dk != C.NEG_INF_KEY)))
+
+
 def pack_next(max_key: int, ptr: int) -> int:
     """Pack the NEXT entry (max field + next pointer) into one word, so
     split can update both 'with a single atomic write' (Section 4.2.2)."""

@@ -14,13 +14,13 @@ from __future__ import annotations
 from ..gpu import events as ev
 from . import constants as C
 from . import team
-from .chunk import (keys_vec, live_data, next_ptr, num_live_entries,
-                    pack_next)
+from .chunk import (has_user_keys, keys_vec, live_data, next_ptr,
+                    num_live_entries, pack_next)
 from .downptrs import update_down_ptrs
 from .insert import pre_split, split_copy
 from .locks import (find_and_lock_enclosing, lock_next_chunk, mark_zombie,
                     unlock_chunk)
-from .traversal import read_chunk, search_lateral, search_slow
+from .traversal import _injector, read_chunk, search_lateral, search_slow
 
 
 def execute_remove_no_merge(sl, ptr: int, kvs, k: int):
@@ -96,9 +96,15 @@ def remove_from_last_chunk(sl, k: int, ptr: int, kvs, level: int):
     only_neg_inf = (len(live) == 1
                     and (int(live[0]) & C.MASK32) == C.NEG_INF_KEY)
     emptied = len(live) == 0 or only_neg_inf
-    yield from unlock_chunk(sl, ptr)
     if emptied:
+        # Decrement *before* releasing the lock: once the chunk is free a
+        # concurrent insert may repopulate it and — seeing a still-nonzero
+        # counter — skip its own increment, so a deferred decrement would
+        # drive the counter to zero with live keys present.  Height
+        # readers would then skip this level, and top-down deletes would
+        # leave orphan upper-level keys (found by the chaos gate).
         yield from sl.head.decrement_chunks(level)
+    yield from unlock_chunk(sl, ptr)
 
 
 def remove_from_chunk(sl, k: int, p_enc: int, level: int):
@@ -120,15 +126,32 @@ def remove_from_chunk(sl, k: int, p_enc: int, level: int):
         return
 
     if num_live_entries(next_kvs, geo) + count - 1 > geo.dsize:
-        yield from split_remove(sl, p_next, next_kvs, level)
+        # Counter discipline: bump *before* the split publishes the new
+        # chunk, so the counter never under-reports the level's chunks
+        # (a concurrent merge could otherwise consume the new chunk and
+        # decrement first, letting height readers miss the level).
         yield from sl.head.increment_chunks(level)
+        yield from split_remove(sl, p_next, next_kvs, level)
         next_kvs = yield from read_chunk(sl, p_next)
 
+    inj = _injector(sl)
+    if inj is not None:
+        # Chaos point stall_merge: pause holding both merge locks, just
+        # before the migration writes and the zombie mark.
+        yield from inj.stall("stall_merge")
+    target_utilized = has_user_keys(next_kvs, geo)
     moved_keys = yield from execute_remove_merge(
         sl, p_enc, enc_kvs, p_next, next_kvs, k)
     yield from mark_zombie(sl, p_enc)
     sl.op_stats.merges += 1
-    yield from sl.head.decrement_chunks(level)
+    moved_real = any(mk != C.NEG_INF_KEY for mk in moved_keys)
+    if target_utilized or not moved_real:
+        # One utilized chunk (pEnc) became a zombie.  Exception: when
+        # the merge migrates real keys into a *drained* last chunk, the
+        # target flips to utilized, cancelling the zombie's decrement —
+        # decrementing anyway would make the counter under-report and
+        # height readers skip a live level (orphan upper-level keys).
+        yield from sl.head.decrement_chunks(level)
     yield from unlock_chunk(sl, p_next)
     # pEnc is a zombie now: the mark is terminal, no unlock.
     yield from update_down_ptrs(sl, level, moved_keys, p_next)

@@ -24,6 +24,7 @@ from ..gpu.occupancy import KernelResources
 from . import constants as C
 from . import delete as _delete
 from . import insert as _insert
+from . import locks as _locks
 from . import traversal as _traversal
 from .chunk import ChunkGeometry, keys_vec, vals_vec
 from .head import HeadArray
@@ -42,7 +43,11 @@ GFSL_KERNEL = KernelResources(regs_demanded=79, intrinsic_spill=0.0,
 
 @dataclass
 class OpStats:
-    """Operation-level counters (restarts, splits, merges, ...)."""
+    """Operation-level counters (restarts, splits, merges, ...).
+
+    ``lock_retries`` (failed lock acquisitions across all spin loops)
+    and ``max_zombie_chain`` (longest frozen chain walked through) are
+    the bounded-retry/backoff accounting the chaos watchdog reads."""
 
     inserts: int = 0
     deletes: int = 0
@@ -53,6 +58,8 @@ class OpStats:
     merges: int = 0
     zombies_unlinked: int = 0
     downptr_updates: int = 0
+    lock_retries: int = 0
+    max_zombie_chain: int = 0
 
     def reset(self) -> None:
         for f in self.__dataclass_fields__:
@@ -103,6 +110,13 @@ class GFSL:
         self.head = HeadArray(self.layout)
         self.rng = np.random.default_rng(seed)
         self.op_stats = OpStats()
+        # Chaos/robustness knobs: `chaos` holds an attached
+        # repro.chaos.faults.FaultInjector (None = inert injection
+        # points); the limits bound lock spins and traversal restarts
+        # (typed LockTimeout / RestartStorm instead of a silent hang).
+        self.chaos = None
+        self.lock_retry_limit = _locks.DEFAULT_LOCK_RETRY_LIMIT
+        self.restart_limit = _traversal.DEFAULT_RESTART_LIMIT
         self._format()
 
     # ------------------------------------------------------------------

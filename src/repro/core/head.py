@@ -13,6 +13,15 @@ Each level's pointer and counter are packed into one 64-bit word
 one coalesced transaction and resolves the height with a single ballot —
 the ``getHeight``/``firstChunkAtLevel`` cooperative functions of
 Algorithm 4.2.
+
+Counter discipline: the counter may transiently *over*-count utilized
+chunks but must never under-count.  ``height_of`` readers skip levels
+with a zero counter, and top-down deletes rely on the height to sweep a
+key's upper-level copies — an under-count strands orphan upper-level
+keys.  Mutators therefore increment *before* publishing a chunk (splits,
+first key at a level) and decrement *before* releasing the lock that
+serializes repopulation (last-chunk drain) or after the zombie mark
+(merges).
 """
 
 from __future__ import annotations

@@ -13,10 +13,11 @@ from ..gpu import events as ev
 from ..gpu import intrinsics as intr
 from . import constants as C
 from . import team
-from .chunk import keys_vec, max_field, num_live_entries, pack_next
+from .chunk import (has_user_keys, keys_vec, max_field, num_live_entries,
+                    pack_next)
 from .downptrs import update_down_ptrs
 from .locks import find_and_lock_enclosing, lock_next_chunk, unlock_chunk
-from .traversal import read_chunk, search_slow
+from .traversal import _injector, read_chunk, search_slow
 
 
 def execute_insert(sl, ptr: int, kvs, k: int, v: int):
@@ -93,6 +94,11 @@ def split_insert(sl, p_split: int, kvs, k: int, v: int, level: int):
     geo = sl.geo
     moved_keys = [int(x) for x in keys_vec(kvs)[geo.split_keep: geo.dsize]]
     p_new, p_next, kvs = yield from pre_split(sl, p_split, kvs)
+    inj = _injector(sl)
+    if inj is not None:
+        # Chaos point stall_split: pause with the split chunk, its
+        # successor, and the still-private new chunk all claimed.
+        yield from inj.stall("stall_split")
     thresh = yield from split_copy(sl, p_split, kvs, p_new)
     if p_next is not None:
         yield from unlock_chunk(sl, p_next)
@@ -106,17 +112,18 @@ def split_insert(sl, p_split: int, kvs, k: int, v: int, level: int):
     else:
         yield from unlock_chunk(sl, p_split)
 
-    # Which key ascends if the coin flip says so (Section 4.2.2): from
-    # the bottom level, max(k, minK of the new chunk) — both are covered
-    # by the bottom lock or reside in the new chunk; in upper levels it
-    # must be k itself, the key whose insertion caused the split.
-    min_new = moved_keys[0]
-    if level == 0:
-        raised_key = max(k, min_new)
-        raised_chunk = p_new  # max(k, minK) > thresh, so it lives in pNew
-    else:
-        raised_key = k
-        raised_chunk = p_insert
+    # Which key ascends if the coin flip says so (Section 4.2.2): k
+    # itself, at every level.  The paper's bottom-level choice of
+    # max(k, minK of the new chunk) is racy when minK != k: minK's
+    # bottom-level entry lives in the new chunk, which is unlocked by
+    # now, so a concurrent delete(minK) — finding no upper-level
+    # instance yet — can remove it from level 0 while we raise it,
+    # leaving an orphan upper-level key (subset-invariant violation;
+    # found by the chaos gate, campaign seed 3).  k is covered by the
+    # bottom lock until the whole insert completes, so raising k keeps
+    # every step protected.
+    raised_key = k
+    raised_chunk = p_insert
 
     # Repair level-(i+1) down pointers of the keys that moved to pNew.
     # k itself cannot be in level i+1 yet (insertion is bottom-up).
@@ -138,16 +145,24 @@ def insert_to_level(sl, level: int, p_enc: int, k: int, v: int):
         return False, p_enc, None, None, False
 
     if num_live_entries(kvs, geo) < geo.dsize:
+        if not has_user_keys(kvs, geo):
+            # The target chunk held no real keys — a level's pristine
+            # initial chunk, or a last chunk drained by deletes (whose
+            # drain decremented the counter).  Landing a key re-utilizes
+            # it, so bump the counter *before* the key is published.
+            # The counter may transiently over-count but must never
+            # under-count: height readers use it to skip empty levels,
+            # and an under-count makes top-down deletes miss upper-level
+            # copies, stranding orphan keys (found by the chaos gate).
+            yield from sl.head.increment_chunks(level)
         yield from execute_insert(sl, p_enc, kvs, k, v)
-        if level > 0:
-            empty = yield from sl.head.is_level_empty(level)
-            if empty:
-                yield from sl.head.increment_chunks(level)
         return True, p_enc, k, p_enc, False
 
+    # Same discipline for the split path: bump before split_insert swings
+    # the next pointer that publishes the new chunk.
+    yield from sl.head.increment_chunks(level)
     p_insert, raised_key, raised_chunk = yield from split_insert(
         sl, p_enc, kvs, k, v, level)
-    yield from sl.head.increment_chunks(level)
     raise_next = bool(sl.rng.random() < sl.p_chunk)
     sl.op_stats.splits += 1
     return True, p_insert, raised_key, raised_chunk, raise_next

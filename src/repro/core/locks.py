@@ -11,6 +11,18 @@ sections (split, merge) always lock left-to-right in list order; across
 levels, an operation holding level-*i* locks only ever waits for
 level-*i*+1 locks (updateDownPtrs, key raising) — all waits point
 rightward or upward, so no cycle can form.
+
+Acquisition loops are *bounded*: every failed attempt (spin on a locked
+chunk, lost or chaos-failed CAS) is counted in ``op_stats.lock_retries``
+and, past ``sl.lock_retry_limit``, raises a typed :class:`LockTimeout`
+naming the chunk and (when a chaos injector tracks ownership) the
+holder — so a protocol regression surfaces as a diagnosable exception
+instead of an infinite spin.  The default limit is far above anything a
+fair scheduler produces.
+
+Chaos injection points (see :mod:`repro.chaos.faults`): a lock CAS may
+spuriously report failure (``fail_lock_cas``), and a fresh holder may
+stall inside its critical section (``stall_lock_holder``).
 """
 
 from __future__ import annotations
@@ -19,22 +31,66 @@ from ..gpu import events as ev
 from . import constants as C
 from . import team
 from .chunk import is_locked, next_ptr
-from .traversal import read_chunk, skip_zombies
+from .traversal import _injector, read_chunk, skip_zombies
+
+#: Failed-acquisition bound before :class:`LockTimeout`; ``GFSL``
+#: instances carry it as ``lock_retry_limit`` so tests and chaos
+#: campaigns can tighten it.
+DEFAULT_LOCK_RETRY_LIMIT = 1_000_000
+
+
+class LockTimeout(RuntimeError):
+    """Bounded lock acquisition gave up on a chunk.
+
+    Attributes: ``chunk`` (pool pointer), ``attempts`` (failed
+    acquisitions), ``owner`` (task id of the holder when a chaos
+    injector tracked it, else None).
+    """
+
+    def __init__(self, chunk: int, attempts: int, owner=None):
+        self.chunk = chunk
+        self.attempts = attempts
+        self.owner = owner
+        held = f" (held by task {owner})" if owner is not None else ""
+        super().__init__(f"gave up locking chunk {chunk} after "
+                         f"{attempts} failed attempts{held}")
+
+
+def _count_lock_retry(sl, ptr: int, attempts: int) -> int:
+    """Bump the retry/backoff accounting; raise past the bound."""
+    attempts += 1
+    sl.op_stats.lock_retries += 1
+    if attempts >= getattr(sl, "lock_retry_limit", DEFAULT_LOCK_RETRY_LIMIT):
+        inj = _injector(sl)
+        owner = inj.owner_of(ptr) if inj is not None else None
+        raise LockTimeout(ptr, attempts, owner)
+    return attempts
 
 
 def try_lock_chunk(sl, ptr: int):
     """Single CAS attempt on the lock word; True on success.  Fails on a
     locked chunk *and* on a zombie (its lock word is ZOMBIE, never
     UNLOCKED), which is exactly the behaviour the lazy redirect needs."""
+    inj = _injector(sl)
+    if inj is not None and inj.spurious_cas_fail():
+        return False
     addr = sl.layout.entry_addr(ptr, sl.geo.lock_idx)
     old = yield ev.WordCAS(addr, C.UNLOCKED, C.LOCKED)
-    return old == C.UNLOCKED
+    if old != C.UNLOCKED:
+        return False
+    if inj is not None:
+        inj.note_lock(ptr)
+        yield from inj.stall("stall_lock_holder")
+    return True
 
 
 def unlock_chunk(sl, ptr: int):
     """Release a lock we hold.  A plain atomic store suffices — only the
     holder may release, and a zombie is never unlocked (the mark is
     terminal), so the holder knows the current value is LOCKED."""
+    inj = _injector(sl)
+    if inj is not None:
+        inj.note_unlock(ptr)
     yield ev.WordWrite(sl.layout.entry_addr(ptr, sl.geo.lock_idx), C.UNLOCKED)
 
 
@@ -42,6 +98,9 @@ def mark_zombie(sl, ptr: int):
     """Terminal transition LOCKED → ZOMBIE, done by the merging team
     while it holds the lock (Section 4.1).  The chunk's contents are
     frozen from this point on."""
+    inj = _injector(sl)
+    if inj is not None:
+        inj.note_unlock(ptr)
     yield ev.WordWrite(sl.layout.entry_addr(ptr, sl.geo.lock_idx), C.ZOMBIE)
 
 
@@ -50,6 +109,7 @@ def find_and_lock_enclosing(sl, ptr: int, k: int):
     locked.  Returns ``(locked_ptr, kvs)`` with ``kvs`` the post-lock
     snapshot (re-read under the lock, line 16)."""
     geo = sl.geo
+    attempts = 0
     while True:
         kvs = yield from read_chunk(sl, ptr)
         if team.chunk_not_enclosing(k, kvs, geo):
@@ -57,9 +117,11 @@ def find_and_lock_enclosing(sl, ptr: int, k: int):
             continue
         if is_locked(kvs, geo):
             # Spin: re-read (the yield gives other teams their turn).
+            attempts = _count_lock_retry(sl, ptr, attempts)
             continue
         got = yield from try_lock_chunk(sl, ptr)
         if not got:
+            attempts = _count_lock_retry(sl, ptr, attempts)
             continue
         kvs = yield from read_chunk(sl, ptr)
         if team.chunk_not_enclosing(k, kvs, geo):
@@ -81,6 +143,7 @@ def lock_next_chunk(sl, ptr: int, kvs):
     our own writes, so after skipping zombies we may swing it directly.
     """
     geo = sl.geo
+    attempts = 0
     while True:
         nxt = next_ptr(kvs, geo)
         if nxt == C.NULL_PTR:
@@ -99,6 +162,7 @@ def lock_next_chunk(sl, ptr: int, kvs):
             continue
         got = yield from try_lock_chunk(sl, live_ptr)
         if not got:
+            attempts = _count_lock_retry(sl, live_ptr, attempts)
             # Re-read our own chunk in case the neighbour merged/zombied.
             kvs = yield from read_chunk(sl, ptr)
             continue

@@ -21,10 +21,48 @@ from . import constants as C
 from . import team
 from .chunk import is_zombie, max_field, next_ptr
 
+#: Per-op traversal-restart bound before :class:`RestartStorm`; ``GFSL``
+#: instances carry it as ``restart_limit``.
+DEFAULT_RESTART_LIMIT = 10_000
+
+
+class RestartStorm(RuntimeError):
+    """A single operation restarted its traversal implausibly often.
+
+    The restart path (a concurrent delete removed the key a down step
+    used) is expected to be *rare*; a regression that makes it fire in
+    a loop shows up as this typed, counted exception — with the key and
+    traversal site attached — instead of a silent hang.
+    """
+
+    def __init__(self, key: int, restarts: int, where: str):
+        self.key = key
+        self.restarts = restarts
+        self.where = where
+        super().__init__(f"{where} for key {key} restarted "
+                         f"{restarts} times — retry storm")
+
+
+def _injector(sl):
+    """The structure's attached chaos injector, or None (the common,
+    zero-overhead case)."""
+    return getattr(sl, "chaos", None)
+
+
+def _count_restart(sl, key: int, restarts: int, where: str) -> int:
+    restarts += 1
+    if restarts >= getattr(sl, "restart_limit", DEFAULT_RESTART_LIMIT):
+        raise RestartStorm(key, restarts, where)
+    return restarts
+
 
 def read_chunk(sl, ptr: int):
     """One coalesced team read of a whole chunk — the unit step of every
-    GFSL traversal."""
+    GFSL traversal.  Chaos injection point ``preempt_traversal``: extra
+    yields here widen the window between consecutive chunk reads."""
+    inj = _injector(sl)
+    if inj is not None:
+        yield from inj.stall("preempt_traversal")
     kvs = yield ev.ChunkRead(sl.layout.chunk_addr(ptr), sl.geo.n)
     return kvs
 
@@ -32,11 +70,16 @@ def read_chunk(sl, ptr: int):
 def skip_zombies(sl, ptr: int, kvs):
     """Follow next pointers through a (frozen) zombie chain; returns the
     first non-zombie chunk and its snapshot.  Terminates because the last
-    chunk in a level is never a zombie (Section 4.2.3)."""
+    chunk in a level is never a zombie (Section 4.2.3).  Chain lengths
+    feed the watchdog's starvation accounting."""
     geo = sl.geo
+    chain = 0
     while is_zombie(kvs, geo):
+        chain += 1
         ptr = next_ptr(kvs, geo)
         kvs = yield from read_chunk(sl, ptr)
+    if chain > sl.op_stats.max_zombie_chain:
+        sl.op_stats.max_zombie_chain = chain
     return ptr, kvs
 
 
@@ -74,8 +117,10 @@ def back_track(sl, prev_kvs, k: int):
 
 def search_down(sl, k: int):
     """Lock-free upper-level descent; returns the bottom-level chunk to
-    start the lateral search from (Algorithm 4.2)."""
+    start the lateral search from (Algorithm 4.2).  Restarts are counted
+    and bounded (:class:`RestartStorm`)."""
     geo = sl.geo
+    restarts = 0
     while True:  # the 'goto search' restart loop
         prev_kvs = None
         head_words = yield from sl.head.read_all()
@@ -101,6 +146,7 @@ def search_down(sl, k: int):
                     # used: not enough data to continue — restart.  This
                     # is the rare case that makes Contains lock-free.
                     sl.op_stats.contains_restarts += 1
+                    restarts = _count_restart(sl, k, restarts, "search_down")
                     restart = True
                     break
                 height -= 1
@@ -114,10 +160,15 @@ def search_lateral(sl, k: int, ptr: int):
     """Bottom-level (or any-level) lateral search for ``k`` itself
     (Algorithm 4.4); returns ``(found, enclosing_ptr)``."""
     geo = sl.geo
+    inj = _injector(sl)
+    # Plantable bug for checker validation: treating a frozen zombie as
+    # live lets a contains observe merged-away (stale) entries.
+    ignore_zombies = inj is not None and inj.bug_active("skip-zombie-recheck")
     while True:
         kvs = yield from read_chunk(sl, ptr)
         found_tid = team.tid_with_equal_key(k, kvs, geo)
-        if found_tid == geo.next_idx or is_zombie(kvs, geo):
+        zombie = (not ignore_zombies) and is_zombie(kvs, geo)
+        if found_tid == geo.next_idx or zombie:
             ptr = next_ptr(kvs, geo)
             continue
         return found_tid != C.NONE_TID, ptr
@@ -146,6 +197,7 @@ def search_slow(sl, k: int):
     lateral steps and swings head pointers off zombie first chunks.
     """
     geo = sl.geo
+    restarts = 0
     while True:  # 'goto search'
         head_words = yield from sl.head.read_all()
         height = sl.head.height_of(head_words)
@@ -182,6 +234,7 @@ def search_slow(sl, k: int):
             else:                                  # backtrack
                 if prev_kvs is None:
                     sl.op_stats.update_restarts += 1
+                    restarts = _count_restart(sl, k, restarts, "search_slow")
                     restart = True
                     break
                 path[height] = prev_ptr
@@ -230,6 +283,7 @@ def search_down_to_level(sl, target_level: int, k: int):
     (used by updateDownPtrs, Algorithm 4.10).  Returns a chunk at that
     level from which ``k``'s enclosing chunk is laterally reachable."""
     geo = sl.geo
+    restarts = 0
     while True:
         prev_kvs = None
         head_words = yield from sl.head.read_all()
@@ -253,6 +307,8 @@ def search_down_to_level(sl, target_level: int, k: int):
                 pcurr = team.ptr_from_tid(step_tid, kvs)
             else:
                 if prev_kvs is None:
+                    restarts = _count_restart(sl, k, restarts,
+                                              "search_down_to_level")
                     restart = True
                     break
                 height -= 1

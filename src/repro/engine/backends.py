@@ -14,6 +14,10 @@ differ only in how operations are scheduled:
   per wave, exactly the mechanics of ``GPUContext.launch``.
 * :class:`~repro.engine.vectorized.VectorizedBackend` (own module) —
   lock-step waves with batched numpy gathers.
+* :class:`~repro.chaos.backend.ChaosBackend` (``interleaved-chaos``) —
+  the interleaved replay plus seeded fault injection, history
+  recording, and a livelock watchdog; with zero faults it is
+  byte-identical to ``interleaved``.
 
 ``make_backend`` resolves a backend by name so callers can select
 ``structure × backend`` from strings (CLI flags, experiment grids).
@@ -121,7 +125,8 @@ class InterleavedBackend:
         return BatchResult(results=results, backend=self.name, waves=waves)
 
 
-BACKEND_NAMES = ("sequential", "interleaved", "vectorized")
+BACKEND_NAMES = ("sequential", "interleaved", "interleaved-chaos",
+                 "vectorized")
 
 
 def available_backends() -> tuple[str, ...]:
@@ -132,12 +137,16 @@ def make_backend(name: str, **kwargs) -> Backend:
     """Instantiate a backend by registry name.
 
     Keyword arguments go to the backend constructor (``concurrency`` /
-    ``seed`` for interleaved, ``wave_size`` for vectorized).
+    ``seed`` for interleaved, ``wave_size`` for vectorized,
+    ``config``/``chaos_seed`` for interleaved-chaos).
     """
     if name == "sequential":
         return SequentialBackend(**kwargs)
     if name == "interleaved":
         return InterleavedBackend(**kwargs)
+    if name == "interleaved-chaos":
+        from ..chaos.backend import ChaosBackend  # avoid import cycle
+        return ChaosBackend(**kwargs)
     if name == "vectorized":
         from .vectorized import VectorizedBackend  # avoid import cycle
         return VectorizedBackend(**kwargs)

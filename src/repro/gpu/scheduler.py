@@ -152,14 +152,26 @@ class InterleavingScheduler:
     for stress tests).
 
     ``max_steps`` guards against livelock bugs: exceeding it raises.
+
+    ``injector``/``watchdog`` are the chaos hooks (duck-typed; see
+    :mod:`repro.chaos`): the injector may preempt a task's turn for a
+    round (``skip_turn``) and is told which task is running
+    (``current_task``) so lock ownership can be attributed; the watchdog
+    observes every advance and raises a diagnosed
+    ``LivelockDetected`` instead of letting a stuck schedule spin.
+    With both None (the default) scheduling is bit-identical to the
+    unhooked code.
     """
 
     def __init__(self, mem: GlobalMemory, tracer: TransactionTracer | None = None,
-                 seed: int | None = None, max_steps: int = 50_000_000):
+                 seed: int | None = None, max_steps: int = 50_000_000,
+                 injector=None, watchdog=None):
         self.mem = mem
         self.tracer = tracer
         self.rng = np.random.default_rng(seed) if seed is not None else None
         self.max_steps = max_steps
+        self.injector = injector
+        self.watchdog = watchdog
         self._tasks: list[_Task] = []
         self._next_id = 0
 
@@ -183,6 +195,10 @@ class InterleavingScheduler:
             finished: list[int] = []
             for idx in order:
                 task = live[idx]
+                if self.injector is not None:
+                    if self.injector.skip_turn():
+                        continue  # chaos point preempt_scheduler
+                    self.injector.current_task = task.task_id
                 try:
                     if not task.started:
                         task.started = True
@@ -193,6 +209,9 @@ class InterleavingScheduler:
                     task.pending = execute_event(event, self.mem, self.tracer)
                     task.steps += 1
                     total_steps += 1
+                    if self.watchdog is not None:
+                        self.watchdog.observe(task.task_id, task.steps,
+                                              total_steps)
                     if total_steps > self.max_steps:
                         raise DeviceFault(
                             "scheduler exceeded max_steps — possible livelock"
@@ -202,6 +221,8 @@ class InterleavingScheduler:
                         task.task_id, stop.value, task.steps,
                         start_step=task.start_step, end_step=total_steps)
                     finished.append(idx)
+                    if self.watchdog is not None:
+                        self.watchdog.finished(task.task_id)
             for idx in sorted(finished, reverse=True):
                 live.pop(idx)
         return [results[k] for k in sorted(results)]

@@ -1,0 +1,63 @@
+"""Differential satellite: ``interleaved-chaos`` with zero faults must
+be *byte-identical* to ``interleaved`` — same per-op results, same final
+structure, and same values of every scheduling-sensitive counter
+(splits, merges, lock retries, restarts), because the injector draws
+nothing and emits nothing at rate zero.
+
+This is deliberately stronger than the engine-level differential test
+(tests/engine/test_differential.py), which only compares the
+scheduling-*invariant* counters across all backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import ChaosBackend, check_history
+from repro.chaos.faults import ChaosConfig
+from repro.engine import BACKEND_NAMES, OpBatch, make_backend, make_structure
+from repro.workloads import Mixture, generate
+
+
+def _run(backend, workload):
+    sl = make_structure("gfsl", workload, team_size=8, p_chunk=1.0, seed=3)
+    sl.op_stats.reset()
+    res = backend.execute(sl, OpBatch.from_workload(workload))
+    stats = {f: getattr(sl.op_stats, f)
+             for f in sl.op_stats.__dataclass_fields__}
+    return res.results, sorted(sl.keys()), stats
+
+
+@pytest.mark.parametrize("sched_seed", [None, 5])
+def test_zero_fault_chaos_byte_identical_to_interleaved(sched_seed):
+    # Duplicate-heavy stream: any schedule divergence would show up as
+    # differing per-op results, not just differing counters.
+    w = generate(Mixture(30, 30, 40), key_range=80, n_ops=400, seed=11)
+    ref = _run(make_backend("interleaved", concurrency=12, seed=sched_seed), w)
+    got = _run(ChaosBackend(concurrency=12, seed=sched_seed), w)
+    assert got[0] == ref[0], "per-op results diverge"
+    assert got[1] == ref[1], "final key set diverges"
+    assert got[2] == ref[2], "scheduling-sensitive counters diverge"
+
+
+def test_registered_in_engine():
+    assert "interleaved-chaos" in BACKEND_NAMES
+    b = make_backend("interleaved-chaos", concurrency=4)
+    assert b.name == "interleaved-chaos"
+
+
+def test_faulty_run_records_full_linearizable_history():
+    w = generate(Mixture(25, 25, 50), key_range=60, n_ops=300, seed=4)
+    sl = make_structure("gfsl", w, team_size=8, p_chunk=1.0, seed=3)
+    backend = ChaosBackend(concurrency=8, config=ChaosConfig.adversarial(),
+                           chaos_seed=4)
+    res = backend.execute(sl, OpBatch.from_workload(w))
+    assert len(res) == w.n_ops
+    assert len(backend.recorder) == w.n_ops
+    assert backend.injector.total_injected > 0
+    # Wave offsetting keeps every interval well-formed and the whole
+    # history totally ordered across waves.
+    assert all(e.start <= e.end for e in backend.recorder.events)
+    report = check_history(backend.recorder,
+                           set(int(k) for k in w.prefill), set(sl.keys()))
+    assert report.ok, report.summary()

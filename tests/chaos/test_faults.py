@@ -1,0 +1,115 @@
+"""Unit tests for the seeded fault injector (repro.chaos.faults).
+
+The two properties everything else leans on: a zero-rate injector is
+*inert* (no RNG draws, no events — the differential guarantee), and a
+seeded injector is *deterministic* (campaign reproducibility).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.chaos.faults import (FAULT_KINDS, PLANTED_BUGS, ChaosConfig,
+                                FaultInjector)
+from repro.gpu import events as ev
+
+
+class TestChaosConfig:
+    def test_default_is_zero(self):
+        cfg = ChaosConfig()
+        assert cfg.is_zero()
+        assert cfg.active_kinds() == ()
+
+    def test_adversarial_activates_every_kind(self):
+        cfg = ChaosConfig.adversarial()
+        assert not cfg.is_zero()
+        assert cfg.active_kinds() == FAULT_KINDS
+        # Intensity scales rates but never past the livelock guard.
+        hot = ChaosConfig.adversarial(intensity=100.0)
+        assert all(getattr(hot, k) <= 0.95 for k in FAULT_KINDS)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(stall_split=0.96)
+        with pytest.raises(ValueError):
+            ChaosConfig(fail_lock_cas=-0.1)
+        with pytest.raises(ValueError):
+            ChaosConfig(stall_events=0)
+
+    def test_planted_bug_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(bug="no-such-bug")
+        cfg = ChaosConfig(bug=PLANTED_BUGS[0])
+        assert not cfg.is_zero()          # a planted bug is not "zero"
+
+    def test_without_disables_one_kind(self):
+        cfg = ChaosConfig.adversarial().without("stall_split")
+        assert "stall_split" not in cfg.active_kinds()
+        assert len(cfg.active_kinds()) == len(FAULT_KINDS) - 1
+        with pytest.raises(ValueError):
+            cfg.without("not-a-kind")
+
+    def test_as_dict_round_trip(self):
+        cfg = ChaosConfig.adversarial(bug=PLANTED_BUGS[0])
+        assert ChaosConfig(**cfg.as_dict()) == cfg
+
+
+class TestFaultInjector:
+    def test_zero_rate_injector_is_inert(self):
+        """No decision at rate 0 may touch the RNG: that is what makes a
+        zero-fault chaos run event-for-event identical to interleaved."""
+        inj = FaultInjector(seed=7)
+        state_before = copy.deepcopy(inj.rng.bit_generator.state)
+        for _ in range(50):
+            for kind in FAULT_KINDS:
+                assert not inj._fire(kind)
+            assert list(inj.stall("stall_split")) == []
+            assert not inj.spurious_cas_fail()
+            assert not inj.skip_turn()
+        assert inj.rng.bit_generator.state == state_before
+        assert inj.total_injected == 0
+        assert inj.kinds_injected() == ()
+
+    def test_seeded_decisions_are_deterministic(self):
+        cfg = ChaosConfig.adversarial()
+        a = FaultInjector(cfg, seed=42)
+        b = FaultInjector(cfg, seed=42)
+        seq_a = [a._fire(k) for _ in range(200) for k in FAULT_KINDS]
+        seq_b = [b._fire(k) for _ in range(200) for k in FAULT_KINDS]
+        assert seq_a == seq_b
+        assert a.counts == b.counts
+        c = FaultInjector(cfg, seed=43)
+        seq_c = [c._fire(k) for _ in range(200) for k in FAULT_KINDS]
+        assert seq_c != seq_a
+
+    def test_stall_yields_compute_events(self):
+        cfg = ChaosConfig(stall_merge=0.9, stall_events=5)
+        inj = FaultInjector(cfg, seed=1)
+        fired = []
+        for _ in range(50):
+            evs = list(inj.stall("stall_merge"))
+            if evs:
+                fired = evs
+                break
+        assert len(fired) == 5
+        assert all(isinstance(e, ev.Compute) for e in fired)
+        assert inj.counts["stall_merge"] >= 1
+        assert "stall_merge" in inj.kinds_injected()
+
+    def test_lock_ownership_notes(self):
+        inj = FaultInjector(seed=0)
+        inj.current_task = 3
+        inj.note_lock(17)
+        assert inj.owner_of(17) == 3
+        assert inj.lock_owners == {17: 3}
+        inj.note_unlock(17)
+        assert inj.owner_of(17) is None
+        inj.note_unlock(17)               # double-unlock is harmless
+
+    def test_bug_active(self):
+        inj = FaultInjector(ChaosConfig(bug="skip-zombie-recheck"))
+        assert inj.bug_active("skip-zombie-recheck")
+        assert not inj.bug_active("other")
+        assert not FaultInjector().bug_active("skip-zombie-recheck")

@@ -1,109 +1,40 @@
-"""Per-key linearizability checking of concurrent histories.
+"""Concurrent histories of the real structures are linearizable.
 
-The interleaving scheduler stamps each operation's invocation and
-response with global step numbers, giving a concurrent *history*.  For
-a set, operations on distinct keys commute, so linearizability
-decomposes per key: for each key there must exist a total order of its
-operations that (a) respects real-time order (op A before op B whenever
-A responded before B was invoked) and (b) replays correctly against a
-single-key register (insert succeeds iff absent, delete iff present,
-contains reports presence), starting from the key's prefill state and
-ending at its final state.
-
-The checker does an exact search (histories per key are small) with
-memoization over (used-mask, present) states.
+The checker itself lives in :mod:`repro.chaos.linearize` (per-key
+decomposition, overlap-group interval pruning, sequential register
+oracle) and has its own unit tests in tests/chaos/test_linearize.py.
+Here we drive the actual GFSL and the MCSkiplist baseline through the
+interleaving scheduler and feed the step-stamped histories to the full
+checker — every key, no size cap, exact search (no net-effect
+fallback allowed).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 
 import pytest
 
+from repro.chaos.linearize import HistoryEvent, check_history
 from repro.core import GFSL, bulk_build_into
 
 
-@dataclass(frozen=True)
-class Event:
-    op: str           # insert / delete / contains
-    result: bool
-    start: int
-    end: int
+def _random_ops(rng: random.Random, n: int, key_range: int):
+    return [(rng.choice(["insert", "delete", "contains"]),
+             rng.randint(1, key_range)) for _ in range(n)]
 
 
-def _replay_ok(op: str, result: bool, present: bool) -> tuple[bool, bool]:
-    """Return (is_consistent, new_present)."""
-    if op == "insert":
-        return (result == (not present)), (present or result)
-    if op == "delete":
-        return (result == present), (present and not result)
-    return (result == present), present
+def _history(ops, results):
+    return [HistoryEvent(op, k, bool(r.value), r.start_step, r.end_step)
+            for (op, k), r in zip(ops, results)]
 
 
-def linearizable_key_history(events: list[Event], initial: bool,
-                             final: bool) -> bool:
-    """Exact per-key linearizability check with real-time constraints."""
-    n = len(events)
-    if n == 0:
-        return initial == final
-    if n > 12:  # keep the exact search bounded; histories here are small
-        raise ValueError("history too long for the exact checker")
-
-    # happens-before: i must precede j if i.end < j.start
-    hb = [[events[i].end < events[j].start for j in range(n)]
-          for i in range(n)]
-
-    seen: set[tuple[int, bool]] = set()
-
-    def extend(used_mask: int, present: bool) -> bool:
-        if used_mask == (1 << n) - 1:
-            return present == final
-        key_state = (used_mask, present)
-        if key_state in seen:
-            return False
-        seen.add(key_state)
-        for i in range(n):
-            if used_mask >> i & 1:
-                continue
-            # all hb-predecessors of i must already be linearized
-            if any(hb[j][i] and not (used_mask >> j & 1) for j in range(n)):
-                continue
-            ok, nxt = _replay_ok(events[i].op, events[i].result, present)
-            if ok and extend(used_mask | (1 << i), nxt):
-                return True
-        return False
-
-    return extend(0, initial)
-
-
-class TestCheckerItself:
-    def test_accepts_sequential_history(self):
-        evs = [Event("insert", True, 0, 1), Event("delete", True, 2, 3)]
-        assert linearizable_key_history(evs, initial=False, final=False)
-
-    def test_rejects_impossible_result(self):
-        evs = [Event("insert", True, 0, 1), Event("insert", True, 2, 3)]
-        assert not linearizable_key_history(evs, initial=False, final=True)
-
-    def test_overlapping_ops_allow_reorder(self):
-        # contains overlapping an insert may see either state
-        evs = [Event("insert", True, 0, 10),
-               Event("contains", False, 1, 2)]
-        assert linearizable_key_history(evs, False, True)
-        evs2 = [Event("insert", True, 0, 10),
-                Event("contains", True, 5, 9)]
-        assert linearizable_key_history(evs2, False, True)
-
-    def test_real_time_order_enforced(self):
-        # contains strictly AFTER a successful insert must see it
-        evs = [Event("insert", True, 0, 1),
-               Event("contains", False, 5, 6)]
-        assert not linearizable_key_history(evs, False, True)
-
-    def test_final_state_enforced(self):
-        evs = [Event("insert", True, 0, 1)]
-        assert not linearizable_key_history(evs, False, False)
+def _assert_linearizable(ops, results, prefill, final):
+    report = check_history(_history(ops, results), prefill, final)
+    detail = report.summary() + "".join(
+        "\n" + str(v) for v in report.violations[:3])
+    assert report.ok, detail
+    assert report.fallback_keys == 0, "exact search should suffice here"
 
 
 @pytest.mark.parametrize("sched_seed", [3, 29, 71])
@@ -113,24 +44,11 @@ def test_gfsl_concurrent_histories_linearizable(sched_seed):
     sl = GFSL(capacity_chunks=1024, team_size=16, seed=sched_seed)
     bulk_build_into(sl, [(k, 0) for k in prefill])
 
-    ops = []
-    for _ in range(250):
-        k = rng.randint(1, 300)
-        ops.append((rng.choice(["insert", "delete", "contains"]), k))
+    ops = _random_ops(rng, 250, 300)
     gens = [getattr(sl, f"{op}_gen")(k) for op, k in ops]
     results = sl.ctx.run_concurrent(gens, seed=sched_seed)
 
-    final = set(sl.keys())
-    pre = set(prefill)
-    per_key: dict[int, list[Event]] = {}
-    for (op, k), r in zip(ops, results):
-        per_key.setdefault(k, []).append(
-            Event(op, bool(r.value), r.start_step, r.end_step))
-    for k, events in per_key.items():
-        if len(events) > 12:
-            continue  # exact checker bound; net-effect tests cover these
-        assert linearizable_key_history(events, k in pre, k in final), (
-            f"non-linearizable history for key {k}: {events}")
+    _assert_linearizable(ops, results, set(prefill), set(sl.keys()))
 
 
 def test_mc_concurrent_histories_linearizable():
@@ -140,19 +58,9 @@ def test_mc_concurrent_histories_linearizable():
     prefill = sorted(rng.sample(range(1, 300), 60))
     mc = MCSkiplist(capacity_words=400_000, seed=9)
     mc_bulk(mc, [(k, 0) for k in prefill])
-    ops = []
-    for _ in range(200):
-        k = rng.randint(1, 300)
-        ops.append((rng.choice(["insert", "delete", "contains"]), k))
+
+    ops = _random_ops(rng, 200, 300)
     gens = [getattr(mc, f"{op}_gen")(k) for op, k in ops]
     results = mc.ctx.run_concurrent(gens, seed=13)
-    final = set(mc.keys())
-    pre = set(prefill)
-    per_key: dict[int, list[Event]] = {}
-    for (op, k), r in zip(ops, results):
-        per_key.setdefault(k, []).append(
-            Event(op, bool(r.value), r.start_step, r.end_step))
-    for k, events in per_key.items():
-        if len(events) > 12:
-            continue
-        assert linearizable_key_history(events, k in pre, k in final), k
+
+    _assert_linearizable(ops, results, set(prefill), set(mc.keys()))
