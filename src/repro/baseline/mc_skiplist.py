@@ -61,6 +61,8 @@ class MCSkiplist:
         # _find retries) so both structures satisfy the engine's
         # ConcurrentMap protocol and report comparable op accounting.
         self.op_stats = OpStats()
+        # Mirrors GFSL: optional MetricsCollector, None = uninstrumented.
+        self.metrics = None
         self._format()
 
     # ------------------------------------------------------------------

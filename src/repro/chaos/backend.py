@@ -28,6 +28,7 @@ from ..engine.backends import BatchResult
 from ..engine.batch import OP_NAMES, OpBatch
 from ..engine.interface import ConcurrentMap, op_generator
 from ..gpu.scheduler import InterleavingScheduler
+from ..metrics.spans import WAVE_TRACK
 from .faults import ChaosConfig, FaultInjector
 from .linearize import HistoryRecorder
 from .watchdog import Watchdog
@@ -85,6 +86,8 @@ class ChaosBackend:
         self.recorder = recorder
 
         tracer = ctx.tracer if self.trace else None
+        m = getattr(structure, "metrics", None)
+        spans = m.spans if m is not None else None
         results: list[Any] = []
         waves = 0
         step_base = 0
@@ -92,18 +95,33 @@ class ChaosBackend:
         structure.chaos = injector
         try:
             for start in range(0, len(ops), conc):
-                sched = InterleavingScheduler(ctx.mem, tracer,
-                                              seed=self.seed,
-                                              injector=injector,
-                                              watchdog=watchdog)
                 end = min(start + conc, len(ops))
                 # Task ids restart at 0 each wave; relabel accordingly.
-                watchdog.labels = {j: labels[start + j]
-                                   for j in range(end - start)}
+                wave_labels = {j: labels[start + j]
+                               for j in range(end - start)}
+                watchdog.labels = wave_labels
+                # Per-wave seed derivation must match InterleavedBackend
+                # exactly — the zero-fault differential test depends on
+                # identical schedules.
+                wave_seed = None if self.seed is None else self.seed + waves
+                sched = InterleavingScheduler(ctx.mem, tracer,
+                                              seed=wave_seed,
+                                              injector=injector,
+                                              watchdog=watchdog,
+                                              spans=spans,
+                                              span_labels=wave_labels)
                 for i in range(start, end):
                     sched.spawn(op_generator(structure, ops[i], keys[i],
                                              values[i]))
+                wave_start = spans.clock if spans is not None else 0
                 wave_results = sched.run()
+                if spans is not None:
+                    spans.add(f"wave {waves}", wave_start,
+                              spans.clock - wave_start, track=WAVE_TRACK,
+                              ops=end - start)
+                if m is not None:
+                    m.waves += 1
+                    m.wave_ops += end - start
                 wave_end = step_base
                 for r in wave_results:
                     i = start + r.task_id

@@ -18,6 +18,11 @@ Commands
     Seeded adversarial campaigns: fault injection + linearizability
     checking + invariant auditing, with automatic seed shrinking on
     failure (the standing correctness gate; see DESIGN.md §9).
+``bench``
+    Pinned seeded workload grid across backends × structures, emitting
+    ``BENCH_<date>.json`` + a markdown summary and comparing against the
+    previous BENCH file with a regression threshold (the standing
+    performance gate; see DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -207,6 +212,73 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the pinned benchmark grid; write BENCH_<date>.json + summary.
+
+    Exit codes: 0 OK, 1 regression beyond the threshold (unless
+    ``--warn-only``), 2 schema/usage error.
+    """
+    from pathlib import Path
+
+    from .metrics import bench as B
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    structures = [s.strip() for s in args.structures.split(",") if s.strip()]
+    ranges = [int(r) for r in args.ranges.split(",") if r.strip()]
+    mixes = ([tuple(m) for m in args.mix] if args.mix
+             else list(B.DEFAULT_MIXES))
+    if not backends or not structures or not ranges:
+        print("bench: need at least one backend, structure, and range",
+              file=sys.stderr)
+        return 2
+
+    doc, traces = B.run_grid(
+        backends, structures, key_ranges=ranges, mixes=mixes,
+        n_ops=args.ops, seed=args.seed, team_size=args.team_size,
+        collect_spans=args.trace_out is not None)
+    errors = B.validate_bench(doc)
+    if errors:
+        for e in errors:
+            print(f"bench: schema error: {e}", file=sys.stderr)
+        return 2
+
+    out_dir = Path(args.out_dir)
+    out_path = out_dir / B.bench_filename()
+    # Resolve the baseline before writing, so re-running on the same
+    # date compares against the *previous* file, not the fresh one.
+    baseline_path = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            print(f"bench: baseline {baseline_path} not found",
+                  file=sys.stderr)
+            return 2
+    elif not args.no_compare:
+        baseline_path = B.latest_bench(out_dir, exclude=out_path)
+    comparison = None
+    if baseline_path is not None:
+        comparison = B.compare_bench(doc, B.load_bench(baseline_path),
+                                     threshold=args.threshold)
+
+    B.write_bench(doc, out_path)
+    if args.trace_out is not None:
+        B.write_trace(traces, args.trace_out)
+    md = B.render_markdown(
+        doc, comparison,
+        baseline_name=baseline_path.name if baseline_path else None,
+        threshold=args.threshold)
+    if args.markdown is not None:
+        Path(args.markdown).write_text(md)
+    print(md, end="")
+    print(f"wrote {out_path}")
+    if comparison is not None and comparison["regressions"]:
+        if args.warn_only:
+            print("regressions found (warn-only mode)", file=sys.stderr)
+        else:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Assemble the ``repro`` argument parser."""
     p = argparse.ArgumentParser(
@@ -285,6 +357,45 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--no-shrink", dest="shrink", action="store_false",
                     help="skip seed shrinking on failure")
     pc.set_defaults(func=cmd_chaos, shrink=True)
+
+    from .metrics.bench import (DEFAULT_OPS, DEFAULT_RANGES, DEFAULT_SEED,
+                                DEFAULT_THRESHOLD)
+    pb = sub.add_parser(
+        "bench", help="pinned benchmark grid with regression gate "
+        "(exits 1 on a regression beyond the threshold)")
+    pb.add_argument("--backends",
+                    default=",".join(available_backends()),
+                    help="comma-separated backend names "
+                    f"(default: all — {','.join(available_backends())})")
+    pb.add_argument("--structures", default="gfsl,mc",
+                    help="comma-separated structure kinds (default: gfsl,mc)")
+    pb.add_argument("--ranges",
+                    default=",".join(str(r) for r in DEFAULT_RANGES),
+                    help="comma-separated key ranges")
+    pb.add_argument("--mix", type=int, nargs=3, action="append",
+                    default=None, metavar=("I", "D", "C"),
+                    help="insert/delete/contains percentages (repeatable; "
+                    "default 10 10 80)")
+    pb.add_argument("--ops", type=int, default=DEFAULT_OPS,
+                    help="operations per grid cell")
+    pb.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    pb.add_argument("--team-size", type=int, default=32)
+    pb.add_argument("--out-dir", default="benchmarks/results",
+                    help="directory for BENCH_<date>.json")
+    pb.add_argument("--baseline", default=None,
+                    help="explicit baseline BENCH file (default: newest "
+                    "other BENCH_*.json in --out-dir)")
+    pb.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                    help="fractional throughput-drop gate (default 0.20)")
+    pb.add_argument("--no-compare", action="store_true",
+                    help="skip the baseline comparison entirely")
+    pb.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0")
+    pb.add_argument("--trace-out", default=None,
+                    help="also write a chrome://tracing span trace here")
+    pb.add_argument("--markdown", default=None,
+                    help="also write the markdown summary to this file")
+    pb.set_defaults(func=cmd_bench)
     return p
 
 

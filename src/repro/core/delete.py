@@ -20,7 +20,8 @@ from .downptrs import update_down_ptrs
 from .insert import pre_split, split_copy
 from .locks import (find_and_lock_enclosing, lock_next_chunk, mark_zombie,
                     unlock_chunk)
-from .traversal import _injector, read_chunk, search_lateral, search_slow
+from .traversal import (_injector, _metrics, read_chunk, search_lateral,
+                        search_slow)
 
 
 def execute_remove_no_merge(sl, ptr: int, kvs, k: int):
@@ -81,6 +82,9 @@ def split_remove(sl, p_next: int, next_kvs, level: int):
         yield from unlock_chunk(sl, p_after)
     yield from unlock_chunk(sl, p_new)
     sl.op_stats.splits += 1
+    m = _metrics(sl)
+    if m is not None:
+        m.splits += 1
     yield from update_down_ptrs(sl, level, moved_keys, p_new)
 
 
@@ -144,6 +148,9 @@ def remove_from_chunk(sl, k: int, p_enc: int, level: int):
         sl, p_enc, enc_kvs, p_next, next_kvs, k)
     yield from mark_zombie(sl, p_enc)
     sl.op_stats.merges += 1
+    m = _metrics(sl)
+    if m is not None:
+        m.merges += 1
     moved_real = any(mk != C.NEG_INF_KEY for mk in moved_keys)
     if target_utilized or not moved_real:
         # One utilized chunk (pEnc) became a zombie.  Exception: when

@@ -115,6 +115,9 @@ class GFSL:
         # points); the limits bound lock spins and traversal restarts
         # (typed LockTimeout / RestartStorm instead of a silent hang).
         self.chaos = None
+        # repro.metrics.counters.MetricsCollector (None = uninstrumented;
+        # the engine attaches one for the observation window).
+        self.metrics = None
         self.lock_retry_limit = _locks.DEFAULT_LOCK_RETRY_LIMIT
         self.restart_limit = _traversal.DEFAULT_RESTART_LIMIT
         self._format()

@@ -31,7 +31,7 @@ from ..gpu import events as ev
 from . import constants as C
 from . import team
 from .chunk import is_locked, next_ptr
-from .traversal import _injector, read_chunk, skip_zombies
+from .traversal import _injector, _metrics, read_chunk, skip_zombies
 
 #: Failed-acquisition bound before :class:`LockTimeout`; ``GFSL``
 #: instances carry it as ``lock_retry_limit`` so tests and chaos
@@ -60,6 +60,9 @@ def _count_lock_retry(sl, ptr: int, attempts: int) -> int:
     """Bump the retry/backoff accounting; raise past the bound."""
     attempts += 1
     sl.op_stats.lock_retries += 1
+    m = _metrics(sl)
+    if m is not None:
+        m.lock_spins += 1
     if attempts >= getattr(sl, "lock_retry_limit", DEFAULT_LOCK_RETRY_LIMIT):
         inj = _injector(sl)
         owner = inj.owner_of(ptr) if inj is not None else None
@@ -72,12 +75,19 @@ def try_lock_chunk(sl, ptr: int):
     locked chunk *and* on a zombie (its lock word is ZOMBIE, never
     UNLOCKED), which is exactly the behaviour the lazy redirect needs."""
     inj = _injector(sl)
+    m = _metrics(sl)
     if inj is not None and inj.spurious_cas_fail():
+        if m is not None:
+            m.lock_cas_failed += 1
         return False
     addr = sl.layout.entry_addr(ptr, sl.geo.lock_idx)
     old = yield ev.WordCAS(addr, C.UNLOCKED, C.LOCKED)
     if old != C.UNLOCKED:
+        if m is not None:
+            m.lock_cas_failed += 1
         return False
+    if m is not None:
+        m.lock_acquired += 1
     if inj is not None:
         inj.note_lock(ptr)
         yield from inj.stall("stall_lock_holder")
@@ -91,6 +101,9 @@ def unlock_chunk(sl, ptr: int):
     inj = _injector(sl)
     if inj is not None:
         inj.note_unlock(ptr)
+    m = _metrics(sl)
+    if m is not None:
+        m.lock_released += 1
     yield ev.WordWrite(sl.layout.entry_addr(ptr, sl.geo.lock_idx), C.UNLOCKED)
 
 
@@ -101,6 +114,11 @@ def mark_zombie(sl, ptr: int):
     inj = _injector(sl)
     if inj is not None:
         inj.note_unlock(ptr)
+    m = _metrics(sl)
+    if m is not None:
+        # The held lock is consumed by the terminal mark, so the
+        # acquired/released balance stays zero at quiescence.
+        m.lock_released += 1
     yield ev.WordWrite(sl.layout.entry_addr(ptr, sl.geo.lock_idx), C.ZOMBIE)
 
 

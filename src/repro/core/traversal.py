@@ -49,6 +49,12 @@ def _injector(sl):
     return getattr(sl, "chaos", None)
 
 
+def _metrics(sl):
+    """The structure's attached metrics collector, or None (the common,
+    zero-overhead case — see :mod:`repro.metrics.counters`)."""
+    return getattr(sl, "metrics", None)
+
+
 def _count_restart(sl, key: int, restarts: int, where: str) -> int:
     restarts += 1
     if restarts >= getattr(sl, "restart_limit", DEFAULT_RESTART_LIMIT):
@@ -63,6 +69,9 @@ def read_chunk(sl, ptr: int):
     inj = _injector(sl)
     if inj is not None:
         yield from inj.stall("preempt_traversal")
+    m = _metrics(sl)
+    if m is not None:
+        m.chunk_reads += 1
     kvs = yield ev.ChunkRead(sl.layout.chunk_addr(ptr), sl.geo.n)
     return kvs
 
@@ -78,6 +87,10 @@ def skip_zombies(sl, ptr: int, kvs):
         chain += 1
         ptr = next_ptr(kvs, geo)
         kvs = yield from read_chunk(sl, ptr)
+    if chain:
+        m = _metrics(sl)
+        if m is not None:
+            m.zombie_encounters += chain
     if chain > sl.op_stats.max_zombie_chain:
         sl.op_stats.max_zombie_chain = chain
     return ptr, kvs
@@ -103,6 +116,9 @@ def redirect_to_remove_zombie(sl, prev_ptr: int, zombie_ptr: int,
         yield ev.WordWrite(sl.layout.entry_addr(prev_ptr, geo.next_idx),
                            pack_next(max_field(kvs, geo), new_next))
         sl.op_stats.zombies_unlinked += 1
+        m = _metrics(sl)
+        if m is not None:
+            m.zombies_unlinked += 1
         ok = True
     yield from unlock_chunk(sl, prev_ptr)
     return ok
@@ -120,6 +136,7 @@ def search_down(sl, k: int):
     start the lateral search from (Algorithm 4.2).  Restarts are counted
     and bounded (:class:`RestartStorm`)."""
     geo = sl.geo
+    m = _metrics(sl)
     restarts = 0
     while True:  # the 'goto search' restart loop
         prev_kvs = None
@@ -130,13 +147,19 @@ def search_down(sl, k: int):
         while height > 0:
             kvs = yield from read_chunk(sl, pcurr)
             if is_zombie(kvs, geo):
+                if m is not None:
+                    m.zombie_encounters += 1
                 pcurr = next_ptr(kvs, geo)
                 continue
             step_tid = team.tid_for_next_step(k, kvs, geo)
             if step_tid == geo.next_idx:          # lateral step
+                if m is not None:
+                    m.lateral_steps += 1
                 prev_kvs = kvs
                 pcurr = next_ptr(kvs, geo)
             elif step_tid != C.NONE_TID:          # down step
+                if m is not None:
+                    m.down_steps += 1
                 height -= 1
                 prev_kvs = None
                 pcurr = team.ptr_from_tid(step_tid, kvs)
@@ -146,9 +169,13 @@ def search_down(sl, k: int):
                     # used: not enough data to continue — restart.  This
                     # is the rare case that makes Contains lock-free.
                     sl.op_stats.contains_restarts += 1
+                    if m is not None:
+                        m.restarts += 1
                     restarts = _count_restart(sl, k, restarts, "search_down")
                     restart = True
                     break
+                if m is not None:
+                    m.backtrack_steps += 1
                 height -= 1
                 pcurr = back_track(sl, prev_kvs, k)
                 prev_kvs = None
@@ -161,6 +188,7 @@ def search_lateral(sl, k: int, ptr: int):
     (Algorithm 4.4); returns ``(found, enclosing_ptr)``."""
     geo = sl.geo
     inj = _injector(sl)
+    m = _metrics(sl)
     # Plantable bug for checker validation: treating a frozen zombie as
     # live lets a contains observe merged-away (stale) entries.
     ignore_zombies = inj is not None and inj.bug_active("skip-zombie-recheck")
@@ -169,6 +197,11 @@ def search_lateral(sl, k: int, ptr: int):
         found_tid = team.tid_with_equal_key(k, kvs, geo)
         zombie = (not ignore_zombies) and is_zombie(kvs, geo)
         if found_tid == geo.next_idx or zombie:
+            if m is not None:
+                if zombie:
+                    m.zombie_encounters += 1
+                else:
+                    m.lateral_steps += 1
             ptr = next_ptr(kvs, geo)
             continue
         return found_tid != C.NONE_TID, ptr
@@ -179,9 +212,15 @@ def find_lateral(sl, k: int, ptr: int):
     ``(found, enclosing_ptr, kvs)``.  Used by updateDownPtrs and the
     delete containment pre-checks."""
     geo = sl.geo
+    m = _metrics(sl)
     while True:
         kvs = yield from read_chunk(sl, ptr)
         if is_zombie(kvs, geo) or max_field(kvs, geo) < k:
+            if m is not None:
+                if is_zombie(kvs, geo):
+                    m.zombie_encounters += 1
+                else:
+                    m.lateral_steps += 1
             ptr = next_ptr(kvs, geo)
             continue
         return team.chunk_contains(k, kvs, geo), ptr, kvs
@@ -197,6 +236,7 @@ def search_slow(sl, k: int):
     lateral steps and swings head pointers off zombie first chunks.
     """
     geo = sl.geo
+    m = _metrics(sl)
     restarts = 0
     while True:  # 'goto search'
         head_words = yield from sl.head.read_all()
@@ -224,9 +264,13 @@ def search_slow(sl, k: int):
             via_head = False
             step_tid = team.tid_for_next_step(k, kvs, geo)
             if step_tid == geo.next_idx:          # lateral step
+                if m is not None:
+                    m.lateral_steps += 1
                 prev_kvs, prev_ptr = kvs, pcurr
                 pcurr = next_ptr(kvs, geo)
             elif step_tid != C.NONE_TID:          # down step
+                if m is not None:
+                    m.down_steps += 1
                 path[height] = pcurr
                 height -= 1
                 prev_kvs = prev_ptr = None
@@ -234,9 +278,13 @@ def search_slow(sl, k: int):
             else:                                  # backtrack
                 if prev_kvs is None:
                     sl.op_stats.update_restarts += 1
+                    if m is not None:
+                        m.restarts += 1
                     restarts = _count_restart(sl, k, restarts, "search_slow")
                     restart = True
                     break
+                if m is not None:
+                    m.backtrack_steps += 1
                 path[height] = prev_ptr
                 height -= 1
                 pcurr = back_track(sl, prev_kvs, k)
@@ -257,10 +305,12 @@ def search_lateral_with_redirect(sl, k: int, ptr: int,
     height-0 case where no down step precedes the lateral phase), a
     zombie first chunk swings the head pointer instead."""
     geo = sl.geo
+    m = _metrics(sl)
     prev_ptr = None
     while True:
         kvs = yield from read_chunk(sl, ptr)
         if is_zombie(kvs, geo):
+            # skip_zombies counts the chain into zombie_encounters.
             zombie_ptr = ptr
             first_nz, kvs = yield from skip_zombies(sl, ptr, kvs)
             if prev_ptr is not None:
@@ -272,6 +322,8 @@ def search_lateral_with_redirect(sl, k: int, ptr: int,
             ptr = first_nz
         found_tid = team.tid_with_equal_key(k, kvs, geo)
         if found_tid == geo.next_idx:
+            if m is not None:
+                m.lateral_steps += 1
             prev_ptr = ptr
             ptr = next_ptr(kvs, geo)
             continue
@@ -283,6 +335,7 @@ def search_down_to_level(sl, target_level: int, k: int):
     (used by updateDownPtrs, Algorithm 4.10).  Returns a chunk at that
     level from which ``k``'s enclosing chunk is laterally reachable."""
     geo = sl.geo
+    m = _metrics(sl)
     restarts = 0
     while True:
         prev_kvs = None
@@ -295,22 +348,32 @@ def search_down_to_level(sl, target_level: int, k: int):
         while height > target_level:
             kvs = yield from read_chunk(sl, pcurr)
             if is_zombie(kvs, geo):
+                if m is not None:
+                    m.zombie_encounters += 1
                 pcurr = next_ptr(kvs, geo)
                 continue
             step_tid = team.tid_for_next_step(k, kvs, geo)
             if step_tid == geo.next_idx:
+                if m is not None:
+                    m.lateral_steps += 1
                 prev_kvs = kvs
                 pcurr = next_ptr(kvs, geo)
             elif step_tid != C.NONE_TID:
+                if m is not None:
+                    m.down_steps += 1
                 height -= 1
                 prev_kvs = None
                 pcurr = team.ptr_from_tid(step_tid, kvs)
             else:
                 if prev_kvs is None:
+                    if m is not None:
+                        m.restarts += 1
                     restarts = _count_restart(sl, k, restarts,
                                               "search_down_to_level")
                     restart = True
                     break
+                if m is not None:
+                    m.backtrack_steps += 1
                 height -= 1
                 pcurr = back_track(sl, prev_kvs, k)
                 prev_kvs = None

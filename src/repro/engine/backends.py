@@ -29,7 +29,8 @@ from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
 from ..gpu.scheduler import InterleavingScheduler, run_to_completion
-from .batch import OpBatch
+from ..metrics.spans import WAVE_TRACK
+from .batch import OP_NAMES, OpBatch
 from .interface import ConcurrentMap, op_generator
 
 
@@ -77,6 +78,12 @@ class SequentialBackend:
                                       batch.keys.tolist(),
                                       batch.values.tolist())
         ]
+        m = getattr(structure, "metrics", None)
+        if m is not None:
+            # One op per "wave" — occupancy is 1.0 by construction.  No
+            # spans: run_to_completion has no step clock.
+            m.waves += len(results)
+            m.wave_ops += len(results)
         return BatchResult(results=results, backend=self.name,
                            waves=len(results))
 
@@ -91,7 +98,10 @@ class InterleavedBackend:
     limit (total MSHRs); callers with an occupancy result should pass
     :func:`~repro.gpu.kernel.default_concurrency` instead.  ``seed``
     shuffles each round's visit order (adversarial interleavings for
-    stress tests); ``None`` keeps the deterministic round-robin.
+    stress tests); ``None`` keeps the deterministic round-robin.  Each
+    wave's scheduler gets its own derived seed (``seed + wave_index``)
+    so distinct waves explore distinct interleavings rather than
+    replaying the same shuffle sequence.
     """
 
     name = "interleaved"
@@ -112,15 +122,32 @@ class InterleavedBackend:
         ops = batch.ops.tolist()
         keys = batch.keys.tolist()
         values = batch.values.tolist()
+        m = getattr(structure, "metrics", None)
+        spans = m.spans if m is not None else None
         results: list[Any] = []
         waves = 0
         for start in range(0, len(ops), conc):
+            end = min(start + conc, len(ops))
+            wave_seed = None if self.seed is None else self.seed + waves
+            labels = None
+            if spans is not None:
+                labels = {j: f"{OP_NAMES[ops[start + j]]}({keys[start + j]})"
+                          for j in range(end - start)}
             sched = InterleavingScheduler(ctx.mem, ctx.tracer,
-                                          seed=self.seed)
-            for i in range(start, min(start + conc, len(ops))):
+                                          seed=wave_seed,
+                                          spans=spans, span_labels=labels)
+            for i in range(start, end):
                 sched.spawn(op_generator(structure, ops[i], keys[i],
                                          values[i]))
+            wave_start = spans.clock if spans is not None else 0
             results.extend(r.value for r in sched.run())
+            if spans is not None:
+                spans.add(f"wave {waves}", wave_start,
+                          spans.clock - wave_start, track=WAVE_TRACK,
+                          ops=end - start)
+            if m is not None:
+                m.waves += 1
+                m.wave_ops += end - start
             waves += 1
         return BatchResult(results=results, backend=self.name, waves=waves)
 

@@ -42,8 +42,9 @@ from ..gpu import events as ev
 from ..gpu.memory import GlobalMemory
 from ..gpu.scheduler import execute_event
 from ..gpu.tracer import TransactionTracer
+from ..metrics.spans import WAVE_TRACK
 from .backends import BatchResult
-from .batch import OP_CONTAINS, OP_INSERT, OpBatch
+from .batch import OP_CONTAINS, OP_INSERT, OP_NAMES, OpBatch
 from .interface import ConcurrentMap, op_generator
 
 DEFAULT_WAVE_SIZE = 512
@@ -104,16 +105,25 @@ class _Task:
 
 
 def run_wave_generators(tasks, mem: GlobalMemory,
-                        tracer: TransactionTracer | None) -> dict[int, Any]:
+                        tracer: TransactionTracer | None,
+                        spans=None, span_labels=None) -> dict[int, Any]:
     """Advance ``(slot, generator)`` pairs in lock-step, batching each
     tick's homogeneous read events; returns ``{slot: return value}``.
 
     One tick sends every live generator its pending result and collects
     its next event — a fair round-robin round, so spin-locks progress.
+
+    With a :class:`~repro.metrics.spans.SpanTracer` in ``spans``, each
+    op is recorded as one span in *ticks* (all ops start at tick 0 —
+    the wave is lock-step) and the tracer's clock advances by the
+    wave's tick count.
     """
     results: dict[int, Any] = {}
     live = [_Task(slot, gen) for slot, gen in tasks]
     raw = mem.raw()
+    span_labels = span_labels or {}
+    base = spans.clock if spans is not None else 0
+    tick = 0
     while live:
         advancing: list[_Task] = []
         for t in live:
@@ -127,9 +137,13 @@ def run_wave_generators(tasks, mem: GlobalMemory,
                 advancing.append(t)
             except StopIteration as stop:
                 results[t.slot] = stop.value
+                if spans is not None:
+                    spans.add(span_labels.get(t.slot, f"op {t.slot}"),
+                              base, tick, track=t.slot, ticks=tick)
         live = advancing
         if not live:
             break
+        tick += 1
 
         chunk_groups: dict[int, list[_Task]] = {}
         word_tasks: list[_Task] = []
@@ -162,6 +176,8 @@ def run_wave_generators(tasks, mem: GlobalMemory,
                 t.pending = value
         for t in others:
             t.pending = execute_event(t.event, mem, tracer)
+    if spans is not None:
+        spans.advance(tick)
     return results
 
 
@@ -181,12 +197,20 @@ class VectorizedBackend:
         results: list[Any] = [None] * len(batch)
         waves = plan_waves(batch.keys, self.wave_size)
         can_vector = hasattr(structure, "vector_contains")
+        m = getattr(structure, "metrics", None)
+        spans = m.spans if m is not None else None
+        n_waves = 0
 
         can_search = can_vector and hasattr(structure, "vector_search")
         for wave in waves:
             idx = np.asarray(wave, dtype=np.int64)
             if idx.size == 0:
                 continue
+            n_waves += 1
+            if m is not None:
+                m.waves += 1
+                m.wave_ops += int(idx.size)
+            wave_start = spans.clock if spans is not None else 0
             rest = idx
             hints: dict[int, tuple] = {}
             if can_vector:
@@ -209,11 +233,21 @@ class VectorizedBackend:
             if rest.size:
                 tasks = [(i, self._op_gen(structure, batch, i, hints))
                          for i in rest.tolist()]
+                labels = None
+                if spans is not None:
+                    labels = {i: f"{OP_NAMES[int(batch.ops[i])]}"
+                                 f"({int(batch.keys[i])})"
+                              for i in rest.tolist()}
                 for slot, value in run_wave_generators(
-                        tasks, ctx.mem, ctx.tracer).items():
+                        tasks, ctx.mem, ctx.tracer,
+                        spans=spans, span_labels=labels).items():
                     results[slot] = value
+            if spans is not None:
+                spans.add(f"wave {n_waves - 1}", wave_start,
+                          spans.clock - wave_start, track=WAVE_TRACK,
+                          ops=int(idx.size))
         return BatchResult(results=results, backend=self.name,
-                           waves=len(waves))
+                           waves=n_waves)
 
     @staticmethod
     def _op_gen(structure: ConcurrentMap, batch: OpBatch, i: int,

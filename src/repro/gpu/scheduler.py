@@ -161,17 +161,25 @@ class InterleavingScheduler:
     ``LivelockDetected`` instead of letting a stuck schedule spin.
     With both None (the default) scheduling is bit-identical to the
     unhooked code.
+
+    ``spans`` optionally takes a :class:`~repro.metrics.spans.SpanTracer`:
+    each completed task is recorded as one span on the tracer's shared
+    step clock (labelled via ``span_labels``, a ``task_id -> str``
+    mapping), and the clock advances by this run's total steps so
+    successive scheduler runs (waves) lay out on one timeline.
     """
 
     def __init__(self, mem: GlobalMemory, tracer: TransactionTracer | None = None,
                  seed: int | None = None, max_steps: int = 50_000_000,
-                 injector=None, watchdog=None):
+                 injector=None, watchdog=None, spans=None, span_labels=None):
         self.mem = mem
         self.tracer = tracer
         self.rng = np.random.default_rng(seed) if seed is not None else None
         self.max_steps = max_steps
         self.injector = injector
         self.watchdog = watchdog
+        self.spans = spans
+        self.span_labels = span_labels or {}
         self._tasks: list[_Task] = []
         self._next_id = 0
 
@@ -188,6 +196,7 @@ class InterleavingScheduler:
         live = list(self._tasks)
         self._tasks = []
         total_steps = 0
+        span_base = self.spans.clock if self.spans is not None else 0
         while live:
             order = list(range(len(live)))
             if self.rng is not None:
@@ -223,6 +232,15 @@ class InterleavingScheduler:
                     finished.append(idx)
                     if self.watchdog is not None:
                         self.watchdog.finished(task.task_id)
+                    if self.spans is not None:
+                        self.spans.add(
+                            self.span_labels.get(task.task_id,
+                                                 f"task {task.task_id}"),
+                            span_base + max(task.start_step, 0),
+                            total_steps - max(task.start_step, 0),
+                            track=task.task_id, steps=task.steps)
             for idx in sorted(finished, reverse=True):
                 live.pop(idx)
+        if self.spans is not None:
+            self.spans.advance(total_steps)
         return [results[k] for k in sorted(results)]

@@ -16,7 +16,7 @@ the :class:`TraceStats` counters feed the cycle model in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -52,15 +52,10 @@ class TraceStats:
     spill_accesses: int = 0
 
     def merge(self, other: "TraceStats") -> None:
-        for f in (
-            "transactions", "l2_hit_transactions", "dram_transactions",
-            "dram_coalesced", "dram_scattered", "l2_coalesced",
-            "l2_scattered", "tlb_misses",
-            "coalesced_accesses", "scalar_accesses", "atomic_ops",
-            "atomic_conflicts", "instructions", "divergent_instructions",
-            "bytes_requested", "spill_accesses",
-        ):
-            setattr(self, f, getattr(self, f) + getattr(other, f))
+        # Derived from the dataclass so a field added later can never be
+        # silently dropped from the merge.
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
     @property
     def l2_hit_rate(self) -> float:

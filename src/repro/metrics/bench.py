@@ -1,0 +1,303 @@
+"""Machine-readable benchmark trajectory: the ``repro bench`` engine.
+
+Runs a pinned, seeded workload grid (structure × backend × mixture ×
+key range), collecting for every cell the cost-model throughput, the
+trace diagnostics, replay wall-clock, and the
+:class:`~repro.metrics.counters.MetricsCollector` per-phase counters.
+Results are emitted as ``BENCH_<date>.json`` (schema below) plus a
+markdown summary, and compared against the previous BENCH file with a
+configurable regression threshold — the machine-readable perf
+trajectory later optimisation PRs are judged by.
+
+Everything in a cell is deterministic given the seed (the simulator is
+pure), so ``mops`` and the counters are stable across machines and the
+regression gate is reliable in CI; only ``wall_seconds`` varies and is
+recorded for information, never gated.
+
+BENCH_*.json schema (``SCHEMA_ID``)::
+
+    {
+      "schema": "repro-bench/1",
+      "created_utc": "2026-08-05T12:00:00+00:00",
+      "seed": 1234, "n_ops": 400, "team_size": 32,
+      "rows": [
+        {"structure": "gfsl", "backend": "interleaved",
+         "mixture": "[10,10,80]", "key_range": 2048, "n_ops": 400,
+         "mops": 410.2, "model_seconds": 9.7e-07, "wall_seconds": 0.81,
+         "transactions_per_op": 6.1, "l2_hit_rate": 0.93,
+         "bottleneck": "dram", "occupancy": 0.5, "oom": false,
+         "counters": {"chunk_reads": ..., "lock_spins": ..., ...}},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from datetime import datetime, timezone
+from pathlib import Path
+
+from .counters import MetricsCollector
+from .spans import SpanTracer, merge_chrome
+
+SCHEMA_ID = "repro-bench/1"
+BENCH_GLOB = "BENCH_*.json"
+_BENCH_RE = re.compile(r"^BENCH_.*\.json$")
+
+DEFAULT_SEED = 1234
+DEFAULT_OPS = 400
+DEFAULT_RANGES = (2048,)
+DEFAULT_MIXES = ((10, 10, 80),)
+DEFAULT_THRESHOLD = 0.20
+
+#: Keys every row must carry (validate_bench enforces presence + type).
+_ROW_NUMBERS = ("key_range", "n_ops", "model_seconds", "wall_seconds",
+                "transactions_per_op", "l2_hit_rate", "occupancy")
+_ROW_STRINGS = ("structure", "backend", "mixture", "bottleneck")
+
+
+def row_key(row: dict) -> tuple:
+    """The identity a row is matched on across BENCH files."""
+    return (row["structure"], row["backend"], row["mixture"],
+            row["key_range"], row["n_ops"])
+
+
+# ---------------------------------------------------------------------------
+# Grid execution
+# ---------------------------------------------------------------------------
+
+def run_grid(backends, structures, key_ranges=DEFAULT_RANGES,
+             mixes=DEFAULT_MIXES, n_ops: int = DEFAULT_OPS,
+             seed: int = DEFAULT_SEED, team_size: int = 32,
+             collect_spans: bool = False):
+    """Execute the grid; returns ``(doc, traces)`` where ``doc`` is the
+    BENCH document and ``traces`` maps cell names to
+    :class:`SpanTracer` instances (empty unless ``collect_spans``)."""
+    from ..workloads.generator import Mixture, generate
+    from ..workloads.runner import run_workload
+
+    rows: list[dict] = []
+    traces: dict[str, SpanTracer] = {}
+    for structure in structures:
+        for backend in backends:
+            for mix in mixes:
+                mixture = Mixture(*mix)
+                for key_range in key_ranges:
+                    workload = generate(mixture, key_range=key_range,
+                                        n_ops=n_ops, seed=seed)
+                    metrics = MetricsCollector(
+                        spans=SpanTracer() if collect_spans else None)
+                    r = run_workload(structure, workload,
+                                     team_size=team_size, backend=backend,
+                                     seed=seed, metrics=metrics)
+                    rows.append({
+                        "structure": structure,
+                        "backend": backend,
+                        "mixture": mixture.name,
+                        "key_range": key_range,
+                        "n_ops": n_ops,
+                        "mops": None if r.oom else r.mops,
+                        "model_seconds": 0.0 if r.oom else r.seconds,
+                        "wall_seconds": r.wall_seconds,
+                        "transactions_per_op": r.transactions_per_op,
+                        "l2_hit_rate": r.l2_hit_rate,
+                        "bottleneck": r.bottleneck,
+                        "occupancy": r.occupancy,
+                        "oom": r.oom,
+                        "counters": r.counters or {},
+                    })
+                    if collect_spans and metrics.spans is not None:
+                        cell = (f"{structure}/{backend}/{mixture.name}"
+                                f"@{key_range}")
+                        traces[cell] = metrics.spans
+    doc = {
+        "schema": SCHEMA_ID,
+        "created_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "seed": seed,
+        "n_ops": n_ops,
+        "team_size": team_size,
+        "rows": rows,
+    }
+    return doc, traces
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+
+def validate_bench(doc) -> list[str]:
+    """Validate a BENCH document; returns a list of problems (empty =
+    schema-valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != SCHEMA_ID:
+        errors.append(f"schema must be {SCHEMA_ID!r}, got "
+                      f"{doc.get('schema')!r}")
+    for key in ("created_utc", "seed", "n_ops", "rows"):
+        if key not in doc:
+            errors.append(f"missing top-level key {key!r}")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        errors.append("rows must be a non-empty list")
+        return errors
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for key in _ROW_STRINGS:
+            if not isinstance(row.get(key), str):
+                errors.append(f"{where}.{key} must be a string")
+        for key in _ROW_NUMBERS:
+            if not isinstance(row.get(key), (int, float)) \
+                    or isinstance(row.get(key), bool):
+                errors.append(f"{where}.{key} must be a number")
+        mops = row.get("mops")
+        if mops is not None and (not isinstance(mops, (int, float))
+                                 or isinstance(mops, bool)
+                                 or math.isnan(mops)):
+            errors.append(f"{where}.mops must be a finite number or null")
+        if not isinstance(row.get("counters"), dict):
+            errors.append(f"{where}.counters must be an object")
+        elif not all(isinstance(v, int) and not isinstance(v, bool)
+                     for v in row["counters"].values()):
+            errors.append(f"{where}.counters values must be integers")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Regression comparison
+# ---------------------------------------------------------------------------
+
+def compare_bench(new: dict, old: dict,
+                  threshold: float = DEFAULT_THRESHOLD) -> dict:
+    """Compare two BENCH documents row by row.
+
+    A row regresses when its new throughput drops more than
+    ``threshold`` (fractional) below the old one.  Rows without a
+    counterpart, and OOM rows, are reported but never gated.  Returns
+    ``{"regressions": [...], "improvements": [...], "unmatched": [...]}``
+    where each entry carries the row identity and both throughputs.
+    """
+    old_rows = {row_key(r): r for r in old.get("rows", [])}
+    regressions, improvements, unmatched = [], [], []
+    for row in new.get("rows", []):
+        prev = old_rows.get(row_key(row))
+        if prev is None:
+            unmatched.append({"row": row_key(row), "reason": "new cell"})
+            continue
+        new_mops, old_mops = row.get("mops"), prev.get("mops")
+        if new_mops is None or old_mops is None or old_mops <= 0:
+            continue
+        delta = new_mops / old_mops - 1.0
+        entry = {"row": row_key(row), "old_mops": old_mops,
+                 "new_mops": new_mops, "delta": delta}
+        if delta < -threshold:
+            regressions.append(entry)
+        elif delta > threshold:
+            improvements.append(entry)
+    return {"regressions": regressions, "improvements": improvements,
+            "unmatched": unmatched}
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+#: Counters surfaced in the markdown table (full set lives in the JSON).
+_MD_COUNTERS = ("restarts", "lock_spins", "splits", "merges",
+                "zombie_encounters")
+
+
+def render_markdown(doc: dict, comparison: dict | None = None,
+                    baseline_name: str | None = None,
+                    threshold: float = DEFAULT_THRESHOLD) -> str:
+    """Human-readable summary of a BENCH document (plus the regression
+    report when a comparison is supplied)."""
+    lines = [f"# repro bench — {doc['created_utc']}", ""]
+    lines.append(f"seed {doc['seed']} · {doc['n_ops']} ops/cell · "
+                 f"team size {doc.get('team_size', 32)}")
+    lines.append("")
+    lines.append("| structure | backend | mixture | range | MOPS | "
+                 "trans/op | L2 hit | waves | wall s | "
+                 + " | ".join(_MD_COUNTERS) + " |")
+    lines.append("|" + "---|" * (9 + len(_MD_COUNTERS)))
+    for row in doc["rows"]:
+        c = row.get("counters", {})
+        mops = "OOM" if row.get("mops") is None else f"{row['mops']:.1f}"
+        lines.append(
+            f"| {row['structure']} | {row['backend']} | {row['mixture']} "
+            f"| {row['key_range']:,} | {mops} "
+            f"| {row['transactions_per_op']:.1f} "
+            f"| {row['l2_hit_rate']:.2f} "
+            f"| {c.get('waves', 0)} "
+            f"| {row['wall_seconds']:.2f} | "
+            + " | ".join(str(c.get(name, 0)) for name in _MD_COUNTERS)
+            + " |")
+    if comparison is not None:
+        lines.append("")
+        lines.append(f"## Regression check vs {baseline_name or 'baseline'} "
+                     f"(threshold {threshold:.0%})")
+        regs = comparison["regressions"]
+        if not regs:
+            lines.append("")
+            lines.append("No regressions.")
+        for entry in regs:
+            s, b, m, kr, n = entry["row"]
+            lines.append(f"- **REGRESSION** {s}/{b} {m} @{kr:,}: "
+                         f"{entry['old_mops']:.1f} → "
+                         f"{entry['new_mops']:.1f} MOPS "
+                         f"({entry['delta']:+.1%})")
+        for entry in comparison["improvements"]:
+            s, b, m, kr, n = entry["row"]
+            lines.append(f"- improvement {s}/{b} {m} @{kr:,}: "
+                         f"{entry['old_mops']:.1f} → "
+                         f"{entry['new_mops']:.1f} MOPS "
+                         f"({entry['delta']:+.1%})")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# File handling
+# ---------------------------------------------------------------------------
+
+def bench_filename(date: str | None = None) -> str:
+    """``BENCH_<ISO date>.json``, today (UTC) by default."""
+    day = date or datetime.now(timezone.utc).date().isoformat()
+    return f"BENCH_{day}.json"
+
+
+def latest_bench(directory, exclude=None) -> Path | None:
+    """Newest (by name — dates sort lexicographically) BENCH_*.json in
+    ``directory``, skipping ``exclude``; None when there is none."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    skip = Path(exclude).name if exclude is not None else None
+    candidates = sorted(p for p in directory.glob(BENCH_GLOB)
+                        if _BENCH_RE.match(p.name) and p.name != skip)
+    return candidates[-1] if candidates else None
+
+
+def load_bench(path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def write_bench(doc: dict, path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, allow_nan=False)
+        fh.write("\n")
+
+
+def write_trace(traces: dict[str, SpanTracer], path) -> None:
+    """Dump the per-cell span traces as one chrome://tracing document."""
+    with open(path, "w") as fh:
+        json.dump(merge_chrome(traces), fh)

@@ -1,0 +1,101 @@
+"""Op-level observability counters.
+
+A :class:`MetricsCollector` is the per-batch counter block of the
+metrics layer: structured per-phase counters (traversal, locking,
+structure maintenance, wave scheduling) that explain *why* a backend is
+fast or slow — the per-operation breakdown the paper's quantitative
+argument (Sections 5.2–5.4) is built on.
+
+Attachment mirrors the chaos injector protocol: structures expose a
+``metrics`` attribute that is ``None`` by default, and every
+instrumentation site in :mod:`repro.core` and the engine backends reads
+it with one ``getattr``-and-``None``-check — when no collector is
+attached the instrumented paths execute exactly the pre-metrics code
+(near-zero overhead, and bit-identical scheduling; a differential test
+pins this).  Attach a collector before a batch::
+
+    m = MetricsCollector()
+    sl.metrics = m
+    make_backend("interleaved").execute(sl, batch)
+    print(m.as_dict())
+
+Counters are *deltas for the attachment window* (unlike the
+structure-lifetime :class:`~repro.core.gfsl.OpStats`), so benchmark
+cells get clean per-batch numbers without reset discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from .spans import SpanTracer
+
+
+@dataclass
+class MetricsCollector:
+    """Per-phase counters for one observed batch execution.
+
+    All integer fields are monotonic counters; :meth:`merge`,
+    :meth:`reset`, and :meth:`as_dict` derive the field list from the
+    dataclass, so a counter added later can never be silently dropped
+    (the :class:`~repro.gpu.tracer.TraceStats` merge bug this layer was
+    built alongside).  ``spans`` optionally carries a
+    :class:`~repro.metrics.spans.SpanTracer`; when present, the engines
+    also record per-op / per-wave spans into it.
+    """
+
+    # -- traversal phase (core/traversal.py) ---------------------------
+    chunk_reads: int = 0          # coalesced team chunk reads
+    lateral_steps: int = 0        # next-pointer hops within a level
+    down_steps: int = 0           # level descents
+    backtrack_steps: int = 0      # Algorithm 4.2 backTrack recoveries
+    restarts: int = 0             # full traversal restarts (all flavours)
+    zombie_encounters: int = 0    # frozen chunks hopped over
+
+    # -- locking phase (core/locks.py) ---------------------------------
+    lock_acquired: int = 0        # successful lock CAS
+    lock_released: int = 0        # unlocks + terminal zombie marks
+    lock_cas_failed: int = 0      # lock CAS that lost (incl. chaos fails)
+    lock_spins: int = 0           # failed-acquisition loop iterations
+
+    # -- structure maintenance (core/insert.py, core/delete.py) --------
+    splits: int = 0
+    merges: int = 0
+    zombies_unlinked: int = 0
+
+    # -- wave scheduling (engine backends) -----------------------------
+    waves: int = 0                # scheduling rounds executed
+    wave_ops: int = 0             # ops summed over waves (occupancy numerator)
+
+    #: Optional span recorder; not a counter (merge/as_dict skip it).
+    spans: SpanTracer | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _counter_fields():
+        return [f.name for f in fields(MetricsCollector) if f.type == "int"]
+
+    def merge(self, other: "MetricsCollector") -> None:
+        """Add ``other``'s counters into this collector (spans are not
+        merged — they live on independent step clocks)."""
+        for name in self._counter_fields():
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def reset(self) -> None:
+        for name in self._counter_fields():
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dict (the BENCH_*.json ``counters``
+        block)."""
+        return {name: getattr(self, name) for name in self._counter_fields()}
+
+    def per_op(self, n_ops: int) -> dict[str, float]:
+        """Counters normalized per operation (0.0 for an empty batch)."""
+        d = max(1, int(n_ops))
+        return {name: value / d for name, value in self.as_dict().items()}
+
+    @property
+    def wave_occupancy(self) -> float:
+        """Mean in-flight operations per scheduling wave."""
+        return self.wave_ops / self.waves if self.waves else 0.0

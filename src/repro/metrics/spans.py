@@ -1,0 +1,93 @@
+"""Span-style traces of scheduler activity (chrome://tracing format).
+
+A :class:`SpanTracer` collects *spans* — named intervals measured in
+scheduler steps — from the execution engines: one span per operation
+(its invocation/response interval under the interleaving scheduler or
+the vectorized lock-step loop) and one span per wave.  The step counter
+doubles as the trace clock: one scheduler step = one microsecond in the
+exported trace, so relative widths in the chrome://tracing /
+Perfetto UI read directly as event counts.
+
+The tracer owns a monotonic ``clock`` that the engines advance as waves
+complete, so spans from consecutive waves (each run by a fresh
+scheduler whose local step count restarts at zero) land on one shared
+timeline — waves really do run back-to-back.
+
+Export: :meth:`to_chrome` produces the ``traceEvents`` list of the
+`Trace Event Format <https://docs.google.com/document/d/1CvAClvFfyA5R-
+PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_ ("X" complete events);
+:func:`merge_chrome` combines several tracers (e.g. one per benchmark
+cell) into a single document with one process per tracer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Track id used for wave-level spans (operation spans use task ids >= 0).
+WAVE_TRACK = -1
+
+
+@dataclass
+class Span:
+    """One named interval on the step timeline."""
+
+    name: str
+    start: int
+    duration: int
+    track: int = 0
+    args: dict = field(default_factory=dict)
+
+
+class SpanTracer:
+    """Collects spans on a shared step clock and exports chrome traces."""
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self.clock: int = 0       # global step offset across waves
+
+    def add(self, name: str, start: int, duration: int, track: int = 0,
+            **args) -> None:
+        """Record one complete span; zero-length spans are widened to one
+        step so they stay visible in trace viewers."""
+        self.spans.append(Span(name, int(start), max(1, int(duration)),
+                               int(track), dict(args)))
+
+    def advance(self, steps: int) -> None:
+        """Move the global clock past a completed scheduler run."""
+        self.clock += max(0, int(steps))
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- export ----------------------------------------------------------
+    def to_chrome(self, pid: int = 0) -> list[dict]:
+        """The spans as Trace Event Format "X" (complete) events."""
+        return [
+            {"name": s.name, "ph": "X", "ts": s.start, "dur": s.duration,
+             "pid": pid, "tid": s.track, "args": s.args}
+            for s in self.spans
+        ]
+
+    def dumps(self) -> str:
+        """A complete chrome://tracing JSON document."""
+        return json.dumps({"traceEvents": self.to_chrome(),
+                           "displayTimeUnit": "ms"})
+
+    def dump(self, path) -> None:
+        """Write the chrome://tracing document to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.dumps())
+
+
+def merge_chrome(traces: dict[str, SpanTracer]) -> dict:
+    """Combine named tracers into one chrome document, one process per
+    tracer (the process-name metadata makes each cell selectable in the
+    trace UI)."""
+    events: list[dict] = []
+    for pid, (name, tracer) in enumerate(traces.items()):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+        events.extend(tracer.to_chrome(pid=pid))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -19,7 +19,8 @@ device memory beyond the 10M (mixed) / 3M (single-op) ranges
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from ..baseline import MC_KERNEL, MCSkiplist
 from ..baseline.node import HEADER_WORDS
@@ -63,6 +64,11 @@ class RunResult:
     l2_hit_rate: float
     transactions_per_op: float
     oom: bool = False
+    #: Host wall-clock of the replay itself (informational — the model
+    #: time is ``seconds``; this one varies across machines).
+    wall_seconds: float = 0.0
+    #: MetricsCollector.as_dict() snapshot when a collector was passed.
+    counters: dict | None = field(default=None)
 
     @staticmethod
     def oom_point(structure: str, team_size: int, key_range: int,
@@ -85,7 +91,6 @@ def mc_paper_scale_feasible(key_range: int, mixture: Mixture,
     insert_ops = ops * mixture.inserts // 100
     if mixture.kind == "insert-only":
         insert_ops = ops
-    need = (prefill + insert_ops + ops) * 0  # op array accounted below
     need = (prefill + insert_ops) * MC_NODE_BYTES + ops * 16
     return need <= MC_USABLE_BYTES
 
@@ -144,7 +149,8 @@ def run_workload(structure_kind: str, workload: Workload,
                  device: DeviceConfig | None = None,
                  seed: int = 0,
                  enforce_paper_oom: bool = True,
-                 backend: str | Backend = "interleaved") -> RunResult:
+                 backend: str | Backend = "interleaved",
+                 metrics=None) -> RunResult:
     """Execute one benchmark point.  ``structure_kind`` is ``"gfsl"`` or
     ``"mc"``.
 
@@ -157,6 +163,11 @@ def run_workload(structure_kind: str, workload: Workload,
     per-op outcomes; they differ in replay wall-clock and in which
     conflict effects appear organically in the trace (the analytic
     contention charge below is applied identically either way).
+
+    ``metrics`` optionally takes a
+    :class:`~repro.metrics.counters.MetricsCollector`; it is attached to
+    the structure for the replay (prefill/bulk-build is *not* counted)
+    and its snapshot lands in ``RunResult.counters``.
     """
     device = device or DeviceConfig.gtx970()
     if structure_kind == "gfsl":
@@ -205,7 +216,15 @@ def run_workload(structure_kind: str, workload: Workload,
     else:
         engine = backend
     st.ctx.tracer.reset_stats()
-    engine.execute(st, OpBatch.from_workload(workload))
+    if metrics is not None:
+        st.metrics = metrics
+    t0 = time.perf_counter()
+    try:
+        engine.execute(st, OpBatch.from_workload(workload))
+    finally:
+        wall = time.perf_counter() - t0
+        if metrics is not None:
+            st.metrics = None
     stats = st.ctx.tracer.stats
     timing = st.ctx.cost_model.evaluate(
         stats, occ, ops=workload.n_ops, kernel=kernel,
@@ -223,4 +242,6 @@ def run_workload(structure_kind: str, workload: Workload,
         occupancy=timing.achieved_occupancy,
         l2_hit_rate=stats.l2_hit_rate,
         transactions_per_op=stats.transactions / max(1, workload.n_ops),
+        wall_seconds=wall,
+        counters=metrics.as_dict() if metrics is not None else None,
     )

@@ -53,3 +53,16 @@ class TestPlanWaves:
         import pytest
         with pytest.raises(ValueError):
             plan_waves(np.array([1]), wave_size=0)
+
+    def test_wave_size_one_all_duplicates(self):
+        """The degenerate corner: every op on one key with unit waves.
+        Still strictly sequential, FIFO, and no wave ever empty."""
+        waves = plan_waves(np.full(6, 7, dtype=np.int64), wave_size=1)
+        assert [len(w) for w in waves] == [1] * 6
+        assert _flatten(waves) == list(range(6))
+
+    def test_planner_never_emits_an_empty_wave(self):
+        rng = np.random.default_rng(3)
+        for wave_size in (1, 2, 7):
+            keys = rng.integers(0, 5, size=60)
+            assert all(plan_waves(keys, wave_size=wave_size))

@@ -114,6 +114,17 @@ class TestHelpers:
         assert a.l2_hit_transactions == 3
         assert a.instructions == 11
 
+    def test_merge_covers_every_field(self):
+        """merge derives its field list from the dataclass, so a field
+        added later can never be silently dropped."""
+        from dataclasses import fields
+        names = [f.name for f in fields(TraceStats)]
+        a = TraceStats(**{n: 2 * i + 1 for i, n in enumerate(names)})
+        b = TraceStats(**{n: 1000 + i for i, n in enumerate(names)})
+        a.merge(b)
+        for i, n in enumerate(names):
+            assert getattr(a, n) == (2 * i + 1) + (1000 + i), n
+
     def test_hit_rate(self):
         s = TraceStats(transactions=4, l2_hit_transactions=3)
         assert s.l2_hit_rate == 0.75

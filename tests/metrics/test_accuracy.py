@@ -1,0 +1,149 @@
+"""Counter accuracy on hand-built tiny workloads.
+
+All scenarios use ``team_size=8`` (dsize=6, so chunks overflow fast)
+and ``p_chunk=0.0`` (no probabilistic key raising — every count below
+is exact, not distributional).  Golden values are derived from the
+structure's algorithms:
+
+* A fresh GFSL has height 0 and one chunk, so ``contains`` is exactly
+  one coalesced chunk read and nothing else.
+* A non-splitting insert reads the chunk three times: once in the
+  traversal (``search_slow``), once in ``find_and_lock_enclosing``
+  before its CAS, once re-reading under the lock.
+* A split releases one more lock than it CAS-acquires: the new right
+  chunk is *born* locked (plain initialization, no CAS) and unlocked
+  when published.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GFSL
+from repro.engine import OpBatch, make_backend
+from repro.engine.batch import OP_CONTAINS, OP_DELETE, OP_INSERT
+from repro.metrics import MetricsCollector
+
+
+def _batch(ops):
+    o = np.array([op for op, _ in ops], dtype=np.int64)
+    k = np.array([key for _, key in ops], dtype=np.int64)
+    return OpBatch(ops=o, keys=k, values=k * 10)
+
+
+def run_counted(ops, backend="sequential", prefill=(), **backend_kwargs):
+    """Build a tiny deterministic GFSL, prefill it *outside* the
+    observation window, then execute ``ops`` with a collector attached.
+    Returns ``(collector, structure)``."""
+    sl = GFSL(capacity_chunks=64, team_size=8, seed=1, p_chunk=0.0)
+    for k in prefill:
+        sl.insert(k, k * 10)
+    m = MetricsCollector()
+    sl.metrics = m
+    make_backend(backend, **backend_kwargs).execute(sl, _batch(ops))
+    sl.metrics = None
+    return m, sl
+
+
+def nonzero(m):
+    return {k: v for k, v in m.as_dict().items() if v}
+
+
+class TestSequentialExact:
+    def test_contains_on_empty_is_one_chunk_read(self):
+        m, _ = run_counted([(OP_CONTAINS, 5)])
+        assert nonzero(m) == {"chunk_reads": 1, "waves": 1, "wave_ops": 1}
+
+    def test_contains_hit_and_miss_cost_the_same(self):
+        m, _ = run_counted([(OP_CONTAINS, 10), (OP_CONTAINS, 99)],
+                           prefill=(10,))
+        assert nonzero(m) == {"chunk_reads": 2, "waves": 2, "wave_ops": 2}
+
+    def test_single_insert(self):
+        m, _ = run_counted([(OP_INSERT, 5)])
+        assert nonzero(m) == {"chunk_reads": 3, "lock_acquired": 1,
+                              "lock_released": 1, "waves": 1, "wave_ops": 1}
+
+    def test_insert_that_splits(self):
+        # dsize=6: five prefilled keys + the NEG_INF sentinel fill the
+        # chunk, so the sixth user key forces the split.
+        m, sl = run_counted([(OP_INSERT, 5)],
+                            prefill=(10, 20, 30, 40, 50))
+        assert m.splits == 1
+        assert sl.op_stats.splits == 1        # agrees with lifetime stats
+        assert m.lock_acquired == 1
+        assert m.lock_released == 2           # split chunk born locked
+        assert m.chunk_reads == 7
+        assert m.merges == 0
+
+    def test_delete_run_that_merges(self):
+        # Two chunks after prefill; deleting five keys drains the left
+        # chunk to the merge threshold (dsize//3 = 2) exactly once.
+        m, sl = run_counted([(OP_DELETE, k) for k in (10, 20, 30, 40, 50)],
+                            prefill=(10, 20, 30, 40, 50, 60, 70))
+        assert m.merges == 1
+        assert sl.op_stats.merges == 1
+        assert m.zombie_encounters == 1       # the merged-away chunk
+        assert m.lock_acquired == m.lock_released == 7
+        assert m.splits == 0
+
+    def test_sequential_never_spins(self):
+        ops = ([(OP_INSERT, k) for k in (3, 11, 19, 27)]
+               + [(OP_CONTAINS, 3), (OP_DELETE, 19)])
+        m, _ = run_counted(ops)
+        assert m.lock_spins == 0
+        assert m.lock_cas_failed == 0
+        assert m.restarts == 0
+        assert m.wave_occupancy == 1.0
+
+
+class TestInterleavedGolden:
+    OPS = ([(OP_INSERT, k) for k in (3, 11, 19, 27)]
+           + [(OP_CONTAINS, 3), (OP_CONTAINS, 11), (OP_DELETE, 19)])
+
+    def test_deterministic_round_robin_counters_pinned(self):
+        """seed=None round-robin is deterministic, so the full counter
+        block is pinned — any scheduling or instrumentation change
+        shows up here as an exact diff."""
+        m, _ = run_counted(self.OPS, backend="interleaved")
+        assert m.as_dict() == {
+            "chunk_reads": 36, "lateral_steps": 0, "down_steps": 0,
+            "backtrack_steps": 0, "restarts": 0, "zombie_encounters": 0,
+            "lock_acquired": 4, "lock_released": 4, "lock_cas_failed": 6,
+            "lock_spins": 21, "splits": 0, "merges": 0,
+            "zombies_unlinked": 0, "waves": 1, "wave_ops": 7,
+        }
+
+    def test_interleaving_costs_more_than_sequential(self):
+        seq, _ = run_counted(self.OPS, backend="sequential")
+        inter, _ = run_counted(self.OPS, backend="interleaved")
+        assert seq.lock_spins == 0
+        assert inter.lock_spins > 0
+        assert inter.chunk_reads >= seq.chunk_reads
+        assert inter.wave_occupancy == 7.0
+
+    def test_lock_balance_holds_at_quiescence(self):
+        """Every acquisition is eventually released (or consumed by a
+        terminal zombie mark) under both schedulers; splits add
+        born-locked chunks, hence released >= acquired."""
+        ops = [(OP_INSERT, k) for k in range(2, 40, 2)]
+        for backend in ("sequential", "interleaved"):
+            m, _ = run_counted(ops, backend=backend)
+            assert m.lock_released >= m.lock_acquired
+            assert m.lock_released - m.lock_acquired == m.splits
+
+
+@pytest.mark.parametrize("backend", ["sequential", "interleaved"])
+def test_counters_track_op_stats_deltas(backend):
+    """Structure-maintenance counters must agree with the independent
+    OpStats lifetime accounting (both bumped at the same sites)."""
+    rng = np.random.default_rng(3)
+    keys = rng.permutation(np.arange(1, 121, dtype=np.int64))[:80]
+    ops = [(int(rng.integers(0, 3)), int(k)) for k in keys]
+    m, sl = run_counted(ops, backend=backend,
+                        prefill=tuple(range(200, 260, 3)))
+    # Prefill happened before attachment, so compare against the delta
+    # rather than the absolute lifetime value.
+    assert m.splits <= sl.op_stats.splits
+    assert m.merges == sl.op_stats.merges
+    assert m.zombies_unlinked == sl.op_stats.zombies_unlinked
+    assert m.lock_spins == sl.op_stats.lock_retries

@@ -1,0 +1,191 @@
+"""BENCH document engine: grid, schema, comparison, files, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.metrics import bench as B
+
+
+@pytest.fixture(scope="module")
+def tiny_doc():
+    doc, traces = B.run_grid(["sequential"], ["gfsl"], key_ranges=(256,),
+                             n_ops=40, seed=7, team_size=8)
+    return doc
+
+
+class TestRunGrid:
+    def test_schema_valid(self, tiny_doc):
+        assert B.validate_bench(tiny_doc) == []
+
+    def test_row_contents(self, tiny_doc):
+        (row,) = tiny_doc["rows"]
+        assert row["structure"] == "gfsl"
+        assert row["backend"] == "sequential"
+        assert row["mops"] > 0
+        assert row["wall_seconds"] > 0
+        assert row["counters"]["chunk_reads"] > 0
+        assert all(isinstance(v, int) for v in row["counters"].values())
+
+    def test_determinism(self, tiny_doc):
+        doc2, _ = B.run_grid(["sequential"], ["gfsl"], key_ranges=(256,),
+                             n_ops=40, seed=7, team_size=8)
+        a = dict(tiny_doc, created_utc=None)
+        b = dict(doc2, created_utc=None)
+        # The simulator is pure: everything except wall clock matches.
+        for ra, rb in zip(a.pop("rows"), b.pop("rows")):
+            ra, rb = dict(ra), dict(rb)
+            ra.pop("wall_seconds"), rb.pop("wall_seconds")
+            assert ra == rb
+        assert a == b
+
+    def test_spans_collected_on_request(self):
+        doc, traces = B.run_grid(["interleaved"], ["gfsl"],
+                                 key_ranges=(256,), n_ops=30, seed=7,
+                                 team_size=8, collect_spans=True)
+        assert list(traces) == ["gfsl/interleaved/[10,10,80]@256"]
+        assert len(next(iter(traces.values())).spans) > 0
+
+
+class TestValidate:
+    def test_rejects_wrong_schema(self, tiny_doc):
+        bad = dict(tiny_doc, schema="nope")
+        assert any("schema" in e for e in B.validate_bench(bad))
+
+    def test_rejects_bad_rows(self, tiny_doc):
+        bad = dict(tiny_doc, rows=[dict(tiny_doc["rows"][0],
+                                        mops=float("nan"))])
+        assert any("mops" in e for e in B.validate_bench(bad))
+        bad = dict(tiny_doc, rows=[])
+        assert any("rows" in e for e in B.validate_bench(bad))
+        bad = dict(tiny_doc,
+                   rows=[dict(tiny_doc["rows"][0], counters={"x": 1.5})])
+        assert any("counters" in e for e in B.validate_bench(bad))
+
+
+def _fake_doc(mops):
+    return {"schema": B.SCHEMA_ID, "created_utc": "t", "seed": 1,
+            "n_ops": 10,
+            "rows": [{"structure": "gfsl", "backend": "sequential",
+                      "mixture": "[10,10,80]", "key_range": 256,
+                      "n_ops": 10, "mops": mops, "model_seconds": 1.0,
+                      "wall_seconds": 1.0, "transactions_per_op": 1.0,
+                      "l2_hit_rate": 0.5, "bottleneck": "dram",
+                      "occupancy": 0.5, "oom": False, "counters": {}}]}
+
+
+class TestCompare:
+    def test_regression_detected(self):
+        cmp = B.compare_bench(_fake_doc(70.0), _fake_doc(100.0),
+                              threshold=0.20)
+        assert len(cmp["regressions"]) == 1
+        assert cmp["regressions"][0]["delta"] == pytest.approx(-0.3)
+
+    def test_within_threshold_is_clean(self):
+        cmp = B.compare_bench(_fake_doc(85.0), _fake_doc(100.0),
+                              threshold=0.20)
+        assert cmp["regressions"] == [] and cmp["improvements"] == []
+
+    def test_improvement_and_unmatched(self):
+        new = _fake_doc(130.0)
+        new["rows"].append(dict(new["rows"][0], backend="interleaved"))
+        cmp = B.compare_bench(new, _fake_doc(100.0), threshold=0.20)
+        assert len(cmp["improvements"]) == 1
+        assert len(cmp["unmatched"]) == 1
+
+    def test_oom_rows_never_gate(self):
+        cmp = B.compare_bench(_fake_doc(None), _fake_doc(100.0),
+                              threshold=0.20)
+        assert cmp["regressions"] == []
+
+
+class TestFiles:
+    def test_filename(self):
+        assert B.bench_filename("2026-08-05") == "BENCH_2026-08-05.json"
+        assert B.bench_filename().startswith("BENCH_2")
+
+    def test_latest_bench(self, tmp_path):
+        assert B.latest_bench(tmp_path) is None
+        for day in ("2026-01-02", "2026-01-10", "2025-12-31"):
+            B.write_bench(_fake_doc(1.0), tmp_path / f"BENCH_{day}.json")
+        assert B.latest_bench(tmp_path).name == "BENCH_2026-01-10.json"
+        assert B.latest_bench(
+            tmp_path,
+            exclude=tmp_path / "BENCH_2026-01-10.json"
+        ).name == "BENCH_2026-01-02.json"
+
+    def test_write_rejects_nan(self, tmp_path):
+        doc = _fake_doc(float("nan"))
+        with pytest.raises(ValueError):
+            B.write_bench(doc, tmp_path / "BENCH_x.json")
+
+
+class TestMarkdown:
+    def test_table_and_regression_lines(self, tiny_doc):
+        cmp = B.compare_bench(_fake_doc(70.0), _fake_doc(100.0))
+        md = B.render_markdown(tiny_doc, cmp, baseline_name="BENCH_old.json")
+        assert "| structure | backend |" in md
+        assert "**REGRESSION**" in md
+        assert "BENCH_old.json" in md
+        md2 = B.render_markdown(tiny_doc)
+        assert "REGRESSION" not in md2
+
+
+class TestCli:
+    ARGS = ["bench", "--backends", "sequential", "--structures", "gfsl",
+            "--ranges", "256", "--ops", "40", "--team-size", "8"]
+
+    def test_end_to_end(self, tmp_path, capsys):
+        rc = cli_main(self.ARGS + ["--out-dir", str(tmp_path),
+                                   "--markdown", str(tmp_path / "sum.md"),
+                                   "--trace-out", str(tmp_path / "tr.json")])
+        assert rc == 0
+        out_files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(out_files) == 1
+        doc = B.load_bench(out_files[0])
+        assert B.validate_bench(doc) == []
+        assert (tmp_path / "sum.md").read_text().startswith("# repro bench")
+        trace = json.loads((tmp_path / "tr.json").read_text())
+        assert "traceEvents" in trace
+        assert "wrote" in capsys.readouterr().out
+
+    def test_regression_gate_exit_codes(self, tmp_path, capsys):
+        # A baseline claiming implausibly high throughput forces the gate.
+        rc = cli_main(self.ARGS + ["--out-dir", str(tmp_path)])
+        assert rc == 0
+        real = B.load_bench(next(tmp_path.glob("BENCH_*.json")))
+        fast = dict(real, rows=[dict(r, mops=r["mops"] * 10)
+                                for r in real["rows"]])
+        B.write_bench(fast, tmp_path / "BENCH_2000-01-01.json")
+        rc = cli_main(self.ARGS + ["--out-dir", str(tmp_path),
+                                   "--baseline",
+                                   str(tmp_path / "BENCH_2000-01-01.json")])
+        assert rc == 1
+        rc = cli_main(self.ARGS + ["--out-dir", str(tmp_path),
+                                   "--baseline",
+                                   str(tmp_path / "BENCH_2000-01-01.json"),
+                                   "--warn-only"])
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        rc = cli_main(self.ARGS + ["--out-dir", str(tmp_path),
+                                   "--baseline", str(tmp_path / "nope.json")])
+        assert rc == 2
+        capsys.readouterr()
+
+    def test_same_date_rerun_compares_against_older_file(self, tmp_path,
+                                                         capsys):
+        """Re-running on the same day must not compare against itself."""
+        rc = cli_main(self.ARGS + ["--out-dir", str(tmp_path)])
+        assert rc == 0
+        real = B.load_bench(next(tmp_path.glob("BENCH_2*.json")))
+        fast = dict(real, rows=[dict(r, mops=r["mops"] * 10)
+                                for r in real["rows"]])
+        B.write_bench(fast, tmp_path / "BENCH_2000-01-01.json")
+        # Without --baseline the newest *other* file is BENCH_2000-01-01
+        # (today's own output is excluded) → the gate fires.
+        rc = cli_main(self.ARGS + ["--out-dir", str(tmp_path)])
+        assert rc == 1
+        capsys.readouterr()
