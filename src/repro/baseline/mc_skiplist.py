@@ -45,13 +45,16 @@ class MCSkiplist:
                  p_key: float = DEFAULT_P_KEY,
                  ctx: GPUContext | None = None,
                  device: DeviceConfig | None = None,
-                 base: int = 0, seed: int = 0xA15E):
+                 base: int | None = None, seed: int = 0xA15E):
         if not 1 <= max_level <= 32:
             raise ValueError("max_level must be in [1, 32]")
         if not 0.0 < p_key < 1.0:
             raise ValueError("p_key must be in (0, 1)")
         self.max_level = max_level
         self.p_key = p_key
+        if base is None:
+            # Shared device: reserve our own region (mirrors GFSL).
+            base = 0 if ctx is None else ctx.reserve(capacity_words)
         self.pool = N.NodePool(base, capacity_words)
         if ctx is None:
             ctx = GPUContext(base + capacity_words, device=device)

@@ -73,7 +73,8 @@ def cmd_point(args) -> int:
                   100 - args.inserts - args.deletes)
     w = generate(mix, key_range=args.range, n_ops=args.ops, seed=args.seed)
     r = run_workload(args.structure, w, team_size=args.team_size,
-                     backend=args.backend)
+                     backend=args.backend, shards=args.shards,
+                     partitioner=args.partitioner)
     if r.oom:
         print(f"{r.structure} @ {args.range:,}: OOM at paper scale "
               "(Section 5.3)")
@@ -225,16 +226,18 @@ def cmd_bench(args) -> int:
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
     structures = [s.strip() for s in args.structures.split(",") if s.strip()]
     ranges = [int(r) for r in args.ranges.split(",") if r.strip()]
+    shard_counts = [int(s) for s in args.shards.split(",") if s.strip()]
     mixes = ([tuple(m) for m in args.mix] if args.mix
              else list(B.DEFAULT_MIXES))
-    if not backends or not structures or not ranges:
-        print("bench: need at least one backend, structure, and range",
-              file=sys.stderr)
+    if not backends or not structures or not ranges or not shard_counts:
+        print("bench: need at least one backend, structure, range, and "
+              "shard count", file=sys.stderr)
         return 2
 
     doc, traces = B.run_grid(
         backends, structures, key_ranges=ranges, mixes=mixes,
         n_ops=args.ops, seed=args.seed, team_size=args.team_size,
+        shard_counts=shard_counts,
         collect_spans=args.trace_out is not None)
     errors = B.validate_bench(doc)
     if errors:
@@ -303,6 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--deletes", type=int, default=10)
     pp.add_argument("--team-size", type=int, default=32)
     pp.add_argument("--seed", type=int, default=0)
+    pp.add_argument("--shards", type=int, default=None,
+                    help="partition the key space across this many "
+                    "co-located instances (default: single instance)")
+    pp.add_argument("--partitioner", choices=("range", "hash"),
+                    default="range",
+                    help="key-space split for --shards (default: range)")
     pp.set_defaults(func=cmd_point)
 
     pf = sub.add_parser("figure", help="regenerate a paper figure")
@@ -378,6 +387,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "default 10 10 80)")
     pb.add_argument("--ops", type=int, default=DEFAULT_OPS,
                     help="operations per grid cell")
+    pb.add_argument("--shards", default="1",
+                    help="comma-separated shard counts; cells with S > 1 "
+                    "run the repro.shard partitioned build (default: 1)")
     pb.add_argument("--seed", type=int, default=DEFAULT_SEED)
     pb.add_argument("--team-size", type=int, default=32)
     pb.add_argument("--out-dir", default="benchmarks/results",

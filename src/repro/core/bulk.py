@@ -62,7 +62,11 @@ def bulk_build_into(sl, items, rng: np.random.Generator | None = None,
         raise ValueError("bulk build keys must be unique")
 
     per_chunk = _per_chunk(geo, fill)
-    pool_view = mem.raw()[lay.chunks_base:].reshape(lay.capacity_chunks, geo.n)
+    # Bounded view: the chunk region ends at capacity, not at the end of
+    # device memory — another co-located instance may live right after.
+    pool_view = mem.raw()[lay.chunks_base: lay.chunks_base
+                          + lay.capacity_chunks * geo.n
+                          ].reshape(lay.capacity_chunks, geo.n)
     next_free = lay.max_level  # chunks 0..max_level-1 are the initial ones
     level_counts: list[int] = []
 
@@ -73,10 +77,14 @@ def bulk_build_into(sl, items, rng: np.random.Generator | None = None,
             break
         n_chunks = -(-n_keys // per_chunk)
         if next_free + n_chunks > lay.capacity_chunks:
+            from .gfsl import suggest_capacity
             from .pool import OutOfChunks
             raise OutOfChunks(
-                f"bulk build: level {level} needs {n_chunks} chunks; pool "
-                f"exhausted at {lay.capacity_chunks}")
+                f"bulk build: level {level} needs {n_chunks} chunks",
+                capacity=lay.capacity_chunks, allocated=next_free,
+                live_keys=len(items),
+                suggested_capacity=suggest_capacity(max(len(items), 1),
+                                                    team_size=geo.n))
         base = next_free
         ptrs = np.arange(base, base + n_chunks, dtype=np.uint64)
 

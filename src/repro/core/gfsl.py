@@ -82,7 +82,10 @@ class GFSL:
         found ≈1 best).
     ctx:
         An existing :class:`GPUContext` to share; by default the
-        structure gets its own device sized to fit.
+        structure gets its own device sized to fit.  On a shared
+        context the instance reserves its own memory region
+        (``ctx.reserve``) unless an explicit ``base`` pins it — several
+        instances co-locate on one device without overlapping.
     """
 
     def __init__(self, capacity_chunks: int, team_size: int = 32,
@@ -90,7 +93,7 @@ class GFSL:
                  merge_divisor: int = C.MERGE_DIVISOR,
                  ctx: GPUContext | None = None,
                  device: DeviceConfig | None = None,
-                 base: int = 0, seed: int = 0x5EED):
+                 base: int | None = None, seed: int = 0x5EED):
         if not 8 <= team_size <= 32:
             raise ValueError("team_size must be in [8, 32] (merge threshold "
                              "needs at least one live entry)")
@@ -100,6 +103,17 @@ class GFSL:
             raise ValueError("pool too small for the initial structure")
         self.geo = ChunkGeometry(team_size, merge_divisor=merge_divisor)
         self.p_chunk = p_chunk
+        if base is None:
+            if ctx is None:
+                base = 0
+            else:
+                # Shared device: claim an aligned region of our own.
+                # Reservations are line-aligned, so the region size can
+                # be computed at base 0 (alignment padding is identical).
+                words = StructureLayout(self.geo, max_level=team_size,
+                                        capacity_chunks=capacity_chunks,
+                                        base=0).total_words
+                base = ctx.reserve(words)
         self.layout = StructureLayout(self.geo, max_level=team_size,
                                       capacity_chunks=capacity_chunks,
                                       base=base)
@@ -107,6 +121,7 @@ class GFSL:
             ctx = GPUContext(base + self.layout.total_words, device=device)
         self.ctx = ctx
         self.pool = ChunkPool(self.layout)
+        self.pool.attach_mem(ctx.mem)
         self.head = HeadArray(self.layout)
         self.rng = np.random.default_rng(seed)
         self.op_stats = OpStats()

@@ -33,7 +33,46 @@ WORDS_PER_LINE = 16  # 128-byte lines of 8-byte words
 
 class OutOfChunks(RuntimeError):
     """The pool's bump allocator ran past capacity (the failure mode the
-    paper observes for M&C at large ranges, Section 5.3)."""
+    paper observes for M&C at large ranges, Section 5.3).
+
+    Carries the exhaustion diagnostics as attributes so handlers can act
+    on them programmatically: ``capacity`` (pool size in chunks),
+    ``allocated`` (chunks handed out, zombies included), ``live_chunks``
+    / ``occupancy`` (non-zombie chunks and their mean data-slot fill),
+    ``live_keys`` (user keys still reachable at the bottom level), and
+    ``suggested_capacity`` (a :func:`~repro.core.gfsl.suggest_capacity`
+    re-sizing for the observed key count).  Fields a raise site cannot
+    know are ``None`` and omitted from the message.
+    """
+
+    def __init__(self, message: str, *, capacity: int | None = None,
+                 allocated: int | None = None,
+                 live_chunks: int | None = None,
+                 occupancy: float | None = None,
+                 live_keys: int | None = None,
+                 suggested_capacity: int | None = None):
+        parts = [message]
+        if capacity is not None:
+            parts.append(f"capacity={capacity}")
+        if allocated is not None:
+            parts.append(f"allocated={allocated}")
+        if live_chunks is not None:
+            parts.append(f"live_chunks={live_chunks}")
+        if occupancy is not None:
+            parts.append(f"occupancy={occupancy:.0%}")
+        if live_keys is not None:
+            parts.append(f"live_keys={live_keys}")
+        if suggested_capacity is not None:
+            parts.append(f"suggested_capacity={suggested_capacity}")
+        super().__init__(
+            parts[0] + (" [" + ", ".join(parts[1:]) + "]"
+                        if len(parts) > 1 else ""))
+        self.capacity = capacity
+        self.allocated = allocated
+        self.live_chunks = live_chunks
+        self.occupancy = occupancy
+        self.live_keys = live_keys
+        self.suggested_capacity = suggested_capacity
 
 
 class StructureLayout:
@@ -67,10 +106,69 @@ class StructureLayout:
 
 
 class ChunkPool:
-    """Bump allocator over the chunk region."""
+    """Bump allocator over the chunk region.
+
+    ``attach_mem`` optionally hands the pool its backing memory so that
+    exhaustion reports can include occupancy diagnostics (the host-side
+    equivalent of a device-side assert dumping pool state).
+    """
 
     def __init__(self, layout: StructureLayout):
         self.layout = layout
+        self._mem: GlobalMemory | None = None
+
+    def attach_mem(self, mem: GlobalMemory) -> None:
+        """Remember the backing memory for exhaustion diagnostics."""
+        self._mem = mem
+
+    # -- diagnostics -----------------------------------------------------
+    def diagnostics(self, mem: GlobalMemory) -> dict:
+        """Host-side pool-state scan for exhaustion reports.
+
+        Returns ``live_chunks`` (allocated, non-zombie), ``occupancy``
+        (mean data-slot fill of the live chunks), ``live_keys`` (user
+        keys reachable on the bottom-level chain), and
+        ``suggested_capacity`` (a re-sizing for that key count).
+        """
+        lay = self.layout
+        geo = lay.geo
+        allocated = min(self.allocated(mem), lay.capacity_chunks)
+        region = mem.raw()[lay.chunks_base: lay.chunks_base
+                           + allocated * geo.n]
+        chunks = region.reshape(allocated, geo.n)
+        live = chunks[:, geo.lock_idx] != np.uint64(C.ZOMBIE)
+        dk = (chunks[:, : geo.dsize]
+              & np.uint64(C.MASK32)).astype(np.int64)
+        user = (dk != C.EMPTY_KEY) & (dk != C.NEG_INF_KEY)
+        live_chunks = int(np.count_nonzero(live))
+        filled = int(np.count_nonzero(user[live]))
+        occupancy = filled / max(1, live_chunks * geo.dsize)
+
+        # Bottom-level user keys: walk the level-0 chain (bounded by the
+        # pool size — a mid-operation snapshot can hold frozen copies).
+        live_keys = 0
+        ptr = int(mem.read_word(lay.head_addr(0))) >> 32
+        for _ in range(lay.capacity_chunks):
+            if not 0 <= ptr < allocated:
+                break
+            if live[ptr]:
+                live_keys += int(np.count_nonzero(user[ptr]))
+            nxt = int(chunks[ptr, geo.next_idx] >> np.uint64(32))
+            if nxt == C.NULL_PTR:
+                break
+            ptr = nxt
+
+        from .gfsl import suggest_capacity  # runtime: gfsl imports pool
+        return {"live_chunks": live_chunks, "occupancy": occupancy,
+                "live_keys": live_keys,
+                "suggested_capacity": suggest_capacity(
+                    max(live_keys, 1), team_size=geo.n)}
+
+    def _exhausted(self, message: str, allocated: int) -> OutOfChunks:
+        diag = (self.diagnostics(self._mem)
+                if self._mem is not None else {})
+        return OutOfChunks(message, capacity=self.layout.capacity_chunks,
+                           allocated=allocated, **diag)
 
     # -- host-side -------------------------------------------------------
     def format(self, mem: GlobalMemory) -> None:
@@ -94,8 +192,9 @@ class ChunkPool:
     def set_allocated(self, mem: GlobalMemory, n: int) -> None:
         """Host-side bump (used by the vectorized bulk builder)."""
         if n > self.layout.capacity_chunks:
-            raise OutOfChunks(f"bulk build needs {n} chunks, pool has "
-                              f"{self.layout.capacity_chunks}")
+            raise OutOfChunks(f"bulk build needs {n} chunks",
+                              capacity=self.layout.capacity_chunks,
+                              allocated=self.allocated(mem))
         mem.write_word(self.layout.pool_ctr_addr, n)
 
     # -- device-side ---------------------------------------------------
@@ -107,6 +206,6 @@ class ChunkPool:
         """
         idx = yield ev.AtomicAdd(self.layout.pool_ctr_addr, 1)
         if idx >= self.layout.capacity_chunks:
-            raise OutOfChunks(
-                f"chunk pool exhausted ({self.layout.capacity_chunks} chunks)")
+            raise self._exhausted("chunk pool exhausted",
+                                  min(idx, self.layout.capacity_chunks))
         return idx

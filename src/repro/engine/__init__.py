@@ -34,6 +34,8 @@ from .interface import (
     available_structures,
     make_structure,
     op_generator,
+    parse_structure_kind,
+    region_words,
     structure_spec,
 )
 from .vectorized import VectorizedBackend, plan_waves, run_wave_generators
@@ -61,4 +63,6 @@ __all__ = [
     "structure_spec",
     "make_structure",
     "op_generator",
+    "parse_structure_kind",
+    "region_words",
 ]

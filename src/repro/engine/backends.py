@@ -102,6 +102,12 @@ class InterleavedBackend:
     wave's scheduler gets its own derived seed (``seed + wave_index``)
     so distinct waves explore distinct interleavings rather than
     replaying the same shuffle sequence.
+
+    Shard-aware mode: a structure may expose ``batch_order(batch)``
+    returning a permutation of op ids (``repro.shard.ShardedMap`` deals
+    ids round-robin across shards so every wave advances every shard);
+    results still land at their original batch positions.  Structures
+    without the hook replay in batch order, exactly as before.
     """
 
     name = "interleaved"
@@ -122,25 +128,34 @@ class InterleavedBackend:
         ops = batch.ops.tolist()
         keys = batch.keys.tolist()
         values = batch.values.tolist()
+        order_hook = getattr(structure, "batch_order", None)
+        if order_hook is None:
+            order = list(range(len(ops)))
+        else:
+            order = [int(i) for i in order_hook(batch)]
+            if len(order) != len(ops):
+                raise ValueError("batch_order must permute the whole batch")
         m = getattr(structure, "metrics", None)
         spans = m.spans if m is not None else None
-        results: list[Any] = []
+        results: list[Any] = [None] * len(ops)
         waves = 0
-        for start in range(0, len(ops), conc):
-            end = min(start + conc, len(ops))
+        for start in range(0, len(order), conc):
+            end = min(start + conc, len(order))
+            wave_ids = order[start:end]
             wave_seed = None if self.seed is None else self.seed + waves
             labels = None
             if spans is not None:
-                labels = {j: f"{OP_NAMES[ops[start + j]]}({keys[start + j]})"
-                          for j in range(end - start)}
+                labels = {j: f"{OP_NAMES[ops[g]]}({keys[g]})"
+                          for j, g in enumerate(wave_ids)}
             sched = InterleavingScheduler(ctx.mem, ctx.tracer,
                                           seed=wave_seed,
                                           spans=spans, span_labels=labels)
-            for i in range(start, end):
-                sched.spawn(op_generator(structure, ops[i], keys[i],
-                                         values[i]))
+            for g in wave_ids:
+                sched.spawn(op_generator(structure, ops[g], keys[g],
+                                         values[g]))
             wave_start = spans.clock if spans is not None else 0
-            results.extend(r.value for r in sched.run())
+            for g, r in zip(wave_ids, sched.run()):
+                results[g] = r.value
             if spans is not None:
                 spans.add(f"wave {waves}", wave_start,
                           spans.clock - wave_start, track=WAVE_TRACK,

@@ -11,7 +11,12 @@ special-casing the two structures.
 
 The registry also owns the workload-sized builders (previously private
 to ``workloads/runner.py``): prefill sizing, bulk build, and L2 warming
-for each structure.
+for each structure.  Builders are *placement-explicit*: they take an
+optional shared :class:`GPUContext` plus base offset (and a prefill
+override) instead of assuming the instance owns a device of its own —
+which is what lets :mod:`repro.shard` co-locate S instances on one
+device.  Registry names accept a shard suffix: ``"gfsl@4"`` builds a
+4-shard :class:`~repro.shard.ShardedMap` over GFSL instances.
 """
 
 from __future__ import annotations
@@ -68,28 +73,78 @@ def _expected_keys(workload) -> int:
     return len(workload.prefill) + inserts + 8
 
 
+# -- placement planning ------------------------------------------------------
+# How many device words an instance sized for `expected` keys occupies.
+# Shard builders sum these to size one shared GPUContext before placing
+# each instance at its reserved base offset.
+
+def gfsl_pool_capacity(expected: int, team_size: int = 32) -> int:
+    """Chunk-pool size for an expected key count (the builder's sizing)."""
+    return suggest_capacity(max(expected, 64), team_size)
+
+
+def gfsl_region_words(expected: int, team_size: int = 32) -> int:
+    """Device words one GFSL instance sized for ``expected`` keys needs
+    (layout is alignment-invariant for line-aligned bases)."""
+    from ..core.chunk import ChunkGeometry
+    from ..core.pool import StructureLayout
+    return StructureLayout(ChunkGeometry(team_size), max_level=team_size,
+                           capacity_chunks=gfsl_pool_capacity(expected,
+                                                              team_size),
+                           base=0).total_words
+
+
+def mc_region_words(expected: int) -> int:
+    """Device words one M&C instance sized for ``expected`` keys needs."""
+    return expected * (HEADER_WORDS + 4) * 2 + 8192
+
+
+def region_words(kind: str, expected: int, team_size: int = 32) -> int:
+    """Region size for one instance of ``kind`` (base registry name)."""
+    if kind == "gfsl":
+        return gfsl_region_words(expected, team_size)
+    if kind == "mc":
+        return mc_region_words(expected)
+    raise ValueError(f"unknown structure kind {kind!r}")
+
+
 def _build_gfsl(workload, *, team_size: int = 32, p_chunk: float = 1.0,
-                p_key: float = 0.5, device=None, seed: int = 0) -> GFSL:
-    """Bulk-build the prefilled GFSL for a workload and warm the L2."""
-    expected = _expected_keys(workload)
-    sl = GFSL(capacity_chunks=suggest_capacity(max(expected, 64), team_size),
-              team_size=team_size, p_chunk=p_chunk, device=device, seed=seed)
-    if len(workload.prefill):
-        bulk_build_into(sl, [(int(k), 0) for k in workload.prefill],
-                        rng=sl.rng)
+                p_key: float = 0.5, device=None, seed: int = 0,
+                ctx=None, base: int | None = None, prefill=None,
+                expected: int | None = None) -> GFSL:
+    """Bulk-build the prefilled GFSL for a workload and warm the L2.
+
+    ``ctx``/``base`` place the instance on a shared context at an
+    explicit offset (``base=None`` on a shared context reserves one);
+    ``prefill``/``expected`` override the workload's prefill set and
+    sizing for partitioned builds.  The defaults reproduce the classic
+    instance-owns-device build exactly.
+    """
+    if expected is None:
+        expected = _expected_keys(workload)
+    sl = GFSL(capacity_chunks=gfsl_pool_capacity(expected, team_size),
+              team_size=team_size, p_chunk=p_chunk, ctx=ctx, device=device,
+              base=base, seed=seed)
+    prefill = workload.prefill if prefill is None else prefill
+    if len(prefill):
+        bulk_build_into(sl, [(int(k), 0) for k in prefill], rng=sl.rng)
     warm_structure(sl)
     return sl
 
 
 def _build_mc(workload, *, team_size: int = 32, p_chunk: float = 1.0,
-              p_key: float = 0.5, device=None, seed: int = 0) -> MCSkiplist:
-    """Bulk-build the prefilled M&C skiplist and warm the L2."""
-    expected = _expected_keys(workload)
-    capacity = expected * (HEADER_WORDS + 4) * 2 + 8192
-    mc = MCSkiplist(capacity_words=capacity, p_key=p_key, device=device,
-                    seed=seed)
-    if len(workload.prefill):
-        mc_bulk(mc, [(int(k), 0) for k in workload.prefill], rng=mc.rng)
+              p_key: float = 0.5, device=None, seed: int = 0,
+              ctx=None, base: int | None = None, prefill=None,
+              expected: int | None = None) -> MCSkiplist:
+    """Bulk-build the prefilled M&C skiplist and warm the L2 (placement
+    semantics as in :func:`_build_gfsl`)."""
+    if expected is None:
+        expected = _expected_keys(workload)
+    mc = MCSkiplist(capacity_words=mc_region_words(expected), p_key=p_key,
+                    ctx=ctx, device=device, base=base, seed=seed)
+    prefill = workload.prefill if prefill is None else prefill
+    if len(prefill):
+        mc_bulk(mc, [(int(k), 0) for k in prefill], rng=mc.rng)
     mc_warm(mc)
     return mc
 
@@ -114,15 +169,59 @@ def available_structures() -> tuple[str, ...]:
     return tuple(STRUCTURES)
 
 
-def structure_spec(kind: str) -> StructureSpec:
+def parse_structure_kind(kind: str) -> tuple[str, int]:
+    """Split a registry name into ``(base_kind, shards)``.
+
+    ``"gfsl"`` → ``("gfsl", 1)``; ``"gfsl@4"`` → ``("gfsl", 4)``.
+    """
+    base, sep, suffix = kind.partition("@")
+    if not sep:
+        return kind, 1
     try:
-        return STRUCTURES[kind]
+        shards = int(suffix)
+    except ValueError:
+        shards = 0
+    if shards < 1:
+        raise ValueError(f"bad shard count in structure kind {kind!r}")
+    return base, shards
+
+
+def structure_spec(kind: str) -> StructureSpec:
+    base_kind, shards = parse_structure_kind(kind)
+    try:
+        spec = STRUCTURES[base_kind]
     except KeyError:
         raise ValueError(
             f"unknown structure kind {kind!r} "
-            f"(available: {', '.join(STRUCTURES)})") from None
+            f"(available: {', '.join(STRUCTURES)}, each with an optional "
+            f"@<shards> suffix)") from None
+    if "@" not in kind:
+        return spec
+
+    def build(workload, **params):
+        from ..shard import build_sharded  # runtime: shard imports engine
+        return build_sharded(base_kind, shards, workload, **params)
+
+    return StructureSpec(name=kind, label=f"{spec.label}x{shards}",
+                         build=build, kernel=spec.kernel)
 
 
-def make_structure(kind: str, workload, **params) -> ConcurrentMap:
-    """Build a prefilled, warmed structure for a workload by name."""
-    return structure_spec(kind).build(workload, **params)
+def make_structure(kind: str, workload, *, shards: int | None = None,
+                   **params) -> ConcurrentMap:
+    """Build a prefilled, warmed structure for a workload by name.
+
+    ``shards`` (or an ``@<shards>`` suffix on ``kind``) builds a
+    :class:`~repro.shard.ShardedMap` of co-located instances; a
+    ``partitioner`` keyword ("range"/"hash" or a ready partitioner) then
+    selects the key-space split.
+    """
+    base_kind, kind_shards = parse_structure_kind(kind)
+    n = kind_shards if shards is None else int(shards)
+    if shards is not None and "@" in kind and shards != kind_shards:
+        raise ValueError(f"conflicting shard counts: {kind!r} vs {shards}")
+    if "@" not in kind and shards is None:
+        # No sharding requested: the classic instance-owns-device build.
+        params.pop("partitioner", None)
+        return structure_spec(base_kind).build(workload, **params)
+    from ..shard import build_sharded  # runtime: shard imports engine
+    return build_sharded(base_kind, n, workload, **params)

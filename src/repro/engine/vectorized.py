@@ -195,7 +195,14 @@ class VectorizedBackend:
                 batch: OpBatch) -> BatchResult:
         ctx = structure.ctx
         results: list[Any] = [None] * len(batch)
-        waves = plan_waves(batch.keys, self.wave_size)
+        # A structure may bring its own wave planner (ShardedMap plans
+        # per shard and zips the plans so every wave touches every
+        # shard); the module-level per-key-FIFO planner is the default.
+        planner = getattr(structure, "plan_waves", None)
+        if planner is not None:
+            waves = planner(batch.keys, self.wave_size)
+        else:
+            waves = plan_waves(batch.keys, self.wave_size)
         can_vector = hasattr(structure, "vector_contains")
         m = getattr(structure, "metrics", None)
         spans = m.spans if m is not None else None

@@ -52,14 +52,54 @@ def default_concurrency(device: DeviceConfig, occ: OccupancyResult,
     return max(1, min(in_flight, device.mshr_per_sm * device.num_sms))
 
 
+#: Region-reservation alignment: one 128-byte cache line of 8-byte words,
+#: so every co-located structure starts chunk-aligned.
+RESERVE_ALIGN = 16
+
+
 class GPUContext:
-    """One simulated device: memory + tracer + cost model."""
+    """One simulated device: memory + tracer + cost model.
+
+    A context does not belong to any single data structure: several
+    instances (e.g. the shards of a :class:`~repro.shard.ShardedMap`)
+    can be co-located on one device by carving the memory into regions
+    with :meth:`reserve` and laying each instance out at its region's
+    base offset.
+    """
 
     def __init__(self, num_words: int, device: DeviceConfig | None = None):
         self.device = device or DeviceConfig.gtx970()
         self.mem = GlobalMemory(num_words)
         self.tracer = TransactionTracer(self.device)
         self.cost_model = CostModel(self.device)
+        self._reserved = 0
+
+    # -- region allocation ----------------------------------------------
+    def reserve(self, num_words: int) -> int:
+        """Reserve a cache-line-aligned region of device memory and
+        return its base word address.
+
+        Structures built on a shared context call this instead of
+        assuming they own the device starting at word 0.  Reservations
+        are a host-side bump allocation — they never overlap and are
+        never reclaimed (device memory is partitioned once, at build
+        time, like a real multi-instance deployment).
+        """
+        if num_words <= 0:
+            raise ValueError("reservation must be positive")
+        base = -(-self._reserved // RESERVE_ALIGN) * RESERVE_ALIGN
+        if base + num_words > self.mem.num_words:
+            raise MemoryError(
+                f"device memory exhausted: reserving {num_words} words at "
+                f"base {base} exceeds the {self.mem.num_words}-word device")
+        self._reserved = base + num_words
+        return base
+
+    @property
+    def reserved_words(self) -> int:
+        """Words handed out through :meth:`reserve` (including alignment
+        padding)."""
+        return self._reserved
 
     # -- single-operation execution ------------------------------------
     def run(self, gen: Generator) -> Any:

@@ -17,12 +17,13 @@ recorded for information, never gated.
 BENCH_*.json schema (``SCHEMA_ID``)::
 
     {
-      "schema": "repro-bench/1",
+      "schema": "repro-bench/2",
       "created_utc": "2026-08-05T12:00:00+00:00",
       "seed": 1234, "n_ops": 400, "team_size": 32,
       "rows": [
         {"structure": "gfsl", "backend": "interleaved",
          "mixture": "[10,10,80]", "key_range": 2048, "n_ops": 400,
+         "shards": 1,
          "mops": 410.2, "model_seconds": 9.7e-07, "wall_seconds": 0.81,
          "transactions_per_op": 6.1, "l2_hit_rate": 0.93,
          "bottleneck": "dram", "occupancy": 0.5, "oom": false,
@@ -30,6 +31,10 @@ BENCH_*.json schema (``SCHEMA_ID``)::
         ...
       ]
     }
+
+Schema v2 adds the ``shards`` row dimension (``repro.shard``
+partitioned builds); v1 files are still comparable — a missing
+``shards`` key reads as 1.
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ from pathlib import Path
 from .counters import MetricsCollector
 from .spans import SpanTracer, merge_chrome
 
-SCHEMA_ID = "repro-bench/1"
+SCHEMA_ID = "repro-bench/2"
 BENCH_GLOB = "BENCH_*.json"
 _BENCH_RE = re.compile(r"^BENCH_.*\.json$")
 
@@ -51,6 +56,7 @@ DEFAULT_SEED = 1234
 DEFAULT_OPS = 400
 DEFAULT_RANGES = (2048,)
 DEFAULT_MIXES = ((10, 10, 80),)
+DEFAULT_SHARDS = (1,)
 DEFAULT_THRESHOLD = 0.20
 
 #: Keys every row must carry (validate_bench enforces presence + type).
@@ -60,9 +66,10 @@ _ROW_STRINGS = ("structure", "backend", "mixture", "bottleneck")
 
 
 def row_key(row: dict) -> tuple:
-    """The identity a row is matched on across BENCH files."""
+    """The identity a row is matched on across BENCH files (``shards``
+    defaults to 1 so schema-v1 rows keep matching)."""
     return (row["structure"], row["backend"], row["mixture"],
-            row["key_range"], row["n_ops"])
+            row["key_range"], row["n_ops"], row.get("shards", 1))
 
 
 # ---------------------------------------------------------------------------
@@ -72,10 +79,15 @@ def row_key(row: dict) -> tuple:
 def run_grid(backends, structures, key_ranges=DEFAULT_RANGES,
              mixes=DEFAULT_MIXES, n_ops: int = DEFAULT_OPS,
              seed: int = DEFAULT_SEED, team_size: int = 32,
-             collect_spans: bool = False):
+             shard_counts=DEFAULT_SHARDS, collect_spans: bool = False):
     """Execute the grid; returns ``(doc, traces)`` where ``doc`` is the
     BENCH document and ``traces`` maps cell names to
-    :class:`SpanTracer` instances (empty unless ``collect_spans``)."""
+    :class:`SpanTracer` instances (empty unless ``collect_spans``).
+
+    ``shard_counts`` adds a shard dimension: each ``S > 1`` cell builds
+    a :mod:`repro.shard` partitioned map of S co-located instances;
+    ``S = 1`` is the classic single-instance build (identical rows to
+    schema v1)."""
     from ..workloads.generator import Mixture, generate
     from ..workloads.runner import run_workload
 
@@ -86,33 +98,38 @@ def run_grid(backends, structures, key_ranges=DEFAULT_RANGES,
             for mix in mixes:
                 mixture = Mixture(*mix)
                 for key_range in key_ranges:
-                    workload = generate(mixture, key_range=key_range,
-                                        n_ops=n_ops, seed=seed)
-                    metrics = MetricsCollector(
-                        spans=SpanTracer() if collect_spans else None)
-                    r = run_workload(structure, workload,
-                                     team_size=team_size, backend=backend,
-                                     seed=seed, metrics=metrics)
-                    rows.append({
-                        "structure": structure,
-                        "backend": backend,
-                        "mixture": mixture.name,
-                        "key_range": key_range,
-                        "n_ops": n_ops,
-                        "mops": None if r.oom else r.mops,
-                        "model_seconds": 0.0 if r.oom else r.seconds,
-                        "wall_seconds": r.wall_seconds,
-                        "transactions_per_op": r.transactions_per_op,
-                        "l2_hit_rate": r.l2_hit_rate,
-                        "bottleneck": r.bottleneck,
-                        "occupancy": r.occupancy,
-                        "oom": r.oom,
-                        "counters": r.counters or {},
-                    })
-                    if collect_spans and metrics.spans is not None:
-                        cell = (f"{structure}/{backend}/{mixture.name}"
-                                f"@{key_range}")
-                        traces[cell] = metrics.spans
+                    for n_shards in shard_counts:
+                        workload = generate(mixture, key_range=key_range,
+                                            n_ops=n_ops, seed=seed)
+                        metrics = MetricsCollector(
+                            spans=SpanTracer() if collect_spans else None)
+                        r = run_workload(
+                            structure, workload, team_size=team_size,
+                            backend=backend, seed=seed, metrics=metrics,
+                            shards=None if n_shards == 1 else n_shards)
+                        rows.append({
+                            "structure": structure,
+                            "backend": backend,
+                            "mixture": mixture.name,
+                            "key_range": key_range,
+                            "n_ops": n_ops,
+                            "shards": n_shards,
+                            "mops": None if r.oom else r.mops,
+                            "model_seconds": 0.0 if r.oom else r.seconds,
+                            "wall_seconds": r.wall_seconds,
+                            "transactions_per_op": r.transactions_per_op,
+                            "l2_hit_rate": r.l2_hit_rate,
+                            "bottleneck": r.bottleneck,
+                            "occupancy": r.occupancy,
+                            "oom": r.oom,
+                            "counters": r.counters or {},
+                        })
+                        if collect_spans and metrics.spans is not None:
+                            cell = (f"{structure}/{backend}/{mixture.name}"
+                                    f"@{key_range}")
+                            if n_shards != 1:
+                                cell += f"/s{n_shards}"
+                            traces[cell] = metrics.spans
     doc = {
         "schema": SCHEMA_ID,
         "created_utc": datetime.now(timezone.utc).isoformat(
@@ -162,6 +179,10 @@ def validate_bench(doc) -> list[str]:
                                  or isinstance(mops, bool)
                                  or math.isnan(mops)):
             errors.append(f"{where}.mops must be a finite number or null")
+        shards = row.get("shards", 1)
+        if not isinstance(shards, int) or isinstance(shards, bool) \
+                or shards < 1:
+            errors.append(f"{where}.shards must be a positive integer")
         if not isinstance(row.get("counters"), dict):
             errors.append(f"{where}.counters must be an object")
         elif not all(isinstance(v, int) and not isinstance(v, bool)
@@ -223,16 +244,16 @@ def render_markdown(doc: dict, comparison: dict | None = None,
     lines.append(f"seed {doc['seed']} · {doc['n_ops']} ops/cell · "
                  f"team size {doc.get('team_size', 32)}")
     lines.append("")
-    lines.append("| structure | backend | mixture | range | MOPS | "
+    lines.append("| structure | backend | mixture | range | shards | MOPS | "
                  "trans/op | L2 hit | waves | wall s | "
                  + " | ".join(_MD_COUNTERS) + " |")
-    lines.append("|" + "---|" * (9 + len(_MD_COUNTERS)))
+    lines.append("|" + "---|" * (10 + len(_MD_COUNTERS)))
     for row in doc["rows"]:
         c = row.get("counters", {})
         mops = "OOM" if row.get("mops") is None else f"{row['mops']:.1f}"
         lines.append(
             f"| {row['structure']} | {row['backend']} | {row['mixture']} "
-            f"| {row['key_range']:,} | {mops} "
+            f"| {row['key_range']:,} | {row.get('shards', 1)} | {mops} "
             f"| {row['transactions_per_op']:.1f} "
             f"| {row['l2_hit_rate']:.2f} "
             f"| {c.get('waves', 0)} "
@@ -248,14 +269,16 @@ def render_markdown(doc: dict, comparison: dict | None = None,
             lines.append("")
             lines.append("No regressions.")
         for entry in regs:
-            s, b, m, kr, n = entry["row"]
-            lines.append(f"- **REGRESSION** {s}/{b} {m} @{kr:,}: "
+            s, b, m, kr, n, sh = entry["row"]
+            cell = f"{s}/{b}" + (f" x{sh}" if sh != 1 else "")
+            lines.append(f"- **REGRESSION** {cell} {m} @{kr:,}: "
                          f"{entry['old_mops']:.1f} → "
                          f"{entry['new_mops']:.1f} MOPS "
                          f"({entry['delta']:+.1%})")
         for entry in comparison["improvements"]:
-            s, b, m, kr, n = entry["row"]
-            lines.append(f"- improvement {s}/{b} {m} @{kr:,}: "
+            s, b, m, kr, n, sh = entry["row"]
+            cell = f"{s}/{b}" + (f" x{sh}" if sh != 1 else "")
+            lines.append(f"- improvement {cell} {m} @{kr:,}: "
                          f"{entry['old_mops']:.1f} → "
                          f"{entry['new_mops']:.1f} MOPS "
                          f"({entry['delta']:+.1%})")

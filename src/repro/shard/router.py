@@ -1,0 +1,64 @@
+"""Batch routing: split an :class:`~repro.engine.OpBatch` across shards.
+
+The router works in *op ids* (positions in the original batch), never
+in copied arrays: :func:`split_indices` produces one stable int64 index
+array per shard, and every downstream consumer gathers through those
+indices, so results land back at their original batch positions and
+per-key FIFO order is preserved (a key maps to exactly one shard, and
+within a shard the index array keeps batch order).
+
+Two merge shapes feed the engine backends' shard-aware modes:
+
+* :func:`round_robin_order` — a global replay order that deals op ids
+  one-per-shard in rotation.  The interleaved backend chunks this order
+  into waves, so every wave carries ops from every shard and the shards
+  genuinely progress concurrently instead of draining one after
+  another.
+* :func:`merge_waves` — aligns per-shard wave plans (each produced by
+  the structure's own per-key-FIFO planner) by wave index: global wave
+  *i* is the concatenation of every shard's wave *i*.  Keys stay unique
+  inside a global wave because each shard's planner already guarantees
+  uniqueness and shards own disjoint key sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def split_indices(shard_ids: np.ndarray, n_shards: int) -> list[np.ndarray]:
+    """Per-shard op-id arrays, each in ascending batch order."""
+    shard_ids = np.asarray(shard_ids)
+    return [np.nonzero(shard_ids == s)[0].astype(np.int64)
+            for s in range(n_shards)]
+
+
+def round_robin_order(per_shard: list[np.ndarray]) -> np.ndarray:
+    """Merge per-shard op-id arrays by dealing one id per shard in
+    rotation (shards with fewer ops simply drop out of later rounds)."""
+    if not per_shard:
+        return np.zeros(0, dtype=np.int64)
+    total = sum(int(ix.size) for ix in per_shard)
+    out = np.empty(total, dtype=np.int64)
+    pos = 0
+    rounds = max((int(ix.size) for ix in per_shard), default=0)
+    for r in range(rounds):
+        for ix in per_shard:
+            if r < ix.size:
+                out[pos] = ix[r]
+                pos += 1
+    return out
+
+
+def merge_waves(per_shard_waves: list[list[list[int]]]) -> list[list[int]]:
+    """Zip per-shard wave plans into global waves by wave index."""
+    merged: list[list[int]] = []
+    depth = max((len(w) for w in per_shard_waves), default=0)
+    for i in range(depth):
+        wave: list[int] = []
+        for shard_waves in per_shard_waves:
+            if i < len(shard_waves):
+                wave.extend(shard_waves[i])
+        if wave:
+            merged.append(wave)
+    return merged

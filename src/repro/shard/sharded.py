@@ -1,0 +1,340 @@
+"""The partitioned multi-instance map (:class:`ShardedMap`).
+
+A ``ShardedMap`` owns S structure instances (GFSL or the M&C baseline)
+co-located on **one** shared :class:`~repro.gpu.kernel.GPUContext`:
+each shard's :class:`~repro.core.pool.StructureLayout` sits at its own
+reserved base offset in the same simulated device memory, so all
+shards share the L2, the tracer, and the cost model — exactly the
+deployment shape of a partitioned in-memory store on a single
+accelerator.
+
+It satisfies the engine's :class:`~repro.engine.ConcurrentMap`
+protocol (generator factories route each op to its owning shard, so
+every backend executes it unmodified) and additionally exposes the
+engine's shard-aware hooks:
+
+* :meth:`batch_order` — the interleaved backend's replay order,
+  round-robined across shards so each wave carries every shard's ops,
+* :meth:`plan_waves` — the vectorized backend's wave plan, built
+  per-shard (preserving per-key FIFO) and zipped by wave index,
+* :meth:`vector_contains` / :meth:`vector_search` — multi-key kernels
+  routed shard-wise (only exposed when every shard supports them).
+
+Observability: attaching a :class:`~repro.metrics.counters
+.MetricsCollector` fans out one child collector per shard (core
+instrumentation sites write shard-locally); detaching folds the
+children back into the aggregate, and :attr:`shard_metrics` keeps the
+per-shard blocks for balance reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..core.gfsl import OpStats
+from ..engine.batch import OP_INSERT, OpBatch
+from ..engine.interface import (STRUCTURES, _expected_keys, region_words,
+                                structure_spec)
+from ..gpu.kernel import GPUContext
+from ..metrics.counters import MetricsCollector
+from .partition import Partitioner, make_partitioner
+from .router import merge_waves, round_robin_order, split_indices
+
+_RESERVE_ALIGN = 16
+
+
+class _AggregateOpStats:
+    """Read-through aggregate over the shards' :class:`OpStats` blocks.
+
+    Field reads sum across shards; ``reset`` fans out.  Exposes the same
+    field list as :class:`OpStats` so counter-diffing code works
+    unchanged.
+    """
+
+    __dataclass_fields__ = OpStats.__dataclass_fields__
+
+    def __init__(self, shards):
+        object.__setattr__(self, "_shards", shards)
+
+    def __getattr__(self, name):
+        if name not in OpStats.__dataclass_fields__:
+            raise AttributeError(name)
+        return sum(getattr(s.op_stats, name) for s in self._shards)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(
+            "aggregate op_stats is read-only; mutate a shard's op_stats")
+
+    def reset(self) -> None:
+        for s in self._shards:
+            s.op_stats.reset()
+
+
+class ShardedMap:
+    """S co-located structure instances behind one ConcurrentMap."""
+
+    def __init__(self, shards: list, partitioner: Partitioner,
+                 ctx: GPUContext, kind: str):
+        if len(shards) != partitioner.n_shards:
+            raise ValueError("partitioner/shard-count mismatch")
+        self.shards = list(shards)
+        self.partitioner = partitioner
+        self.ctx = ctx
+        self.kind = kind
+        self.op_stats = _AggregateOpStats(self.shards)
+        self._metrics: MetricsCollector | None = None
+        self._chaos = None
+        #: Per-shard child collectors of the current attachment window.
+        self.shard_metrics: list[MetricsCollector] | None = None
+        #: Per-shard op counts of the most recently routed batch.
+        self.last_shard_ops: list[int] | None = None
+        # Multi-key kernels are exposed only when every shard has them
+        # (hasattr is the vectorized backend's capability probe).
+        if all(hasattr(s, "vector_contains") for s in self.shards):
+            self.vector_contains = self._vector_contains
+        if all(hasattr(s, "vector_search") for s in self.shards):
+            self.vector_search = self._vector_search
+
+    # -- routing ---------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def geo(self):
+        """Chunk geometry of the underlying instances (GFSL shards)."""
+        return getattr(self.shards[0], "geo", None)
+
+    def shard_of(self, key: int) -> int:
+        return self.partitioner.shard_of(key)
+
+    def shard_for(self, key: int):
+        """The instance owning ``key``."""
+        return self.shards[self.partitioner.shard_of(key)]
+
+    # -- ConcurrentMap protocol ------------------------------------------
+    def contains_gen(self, key: int) -> Generator:
+        return self.shard_for(key).contains_gen(key)
+
+    def insert_gen(self, key: int, value: int = 0, hint=None) -> Generator:
+        shard = self.shard_for(key)
+        if hint is not None:
+            return shard.insert_gen(key, value, hint=hint)
+        return shard.insert_gen(key, value)
+
+    def delete_gen(self, key: int, hint=None) -> Generator:
+        shard = self.shard_for(key)
+        if hint is not None:
+            return shard.delete_gen(key, hint=hint)
+        return shard.delete_gen(key)
+
+    def keys(self) -> list:
+        return sorted(k for s in self.shards for k in s.keys())
+
+    def items(self) -> list:
+        return sorted(kv for s in self.shards for kv in s.items())
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def __contains__(self, key: int) -> bool:
+        return self.contains(key)
+
+    # -- synchronous wrappers --------------------------------------------
+    def contains(self, key: int) -> bool:
+        return self.ctx.run(self.contains_gen(key))
+
+    def insert(self, key: int, value: int = 0) -> bool:
+        return self.ctx.run(self.insert_gen(key, value))
+
+    def delete(self, key: int) -> bool:
+        return self.ctx.run(self.delete_gen(key))
+
+    def get(self, key: int):
+        shard = self.shard_for(key)
+        if not hasattr(shard, "get_gen"):
+            raise AttributeError(f"{self.kind} shards have no get_gen")
+        return self.ctx.run(shard.get_gen(key))
+
+    # -- cross-shard queries (host-side merges) --------------------------
+    def min_key(self):
+        lows = [m for m in (s.min_key() for s in self.shards
+                            if hasattr(s, "min_key")) if m is not None]
+        return min(lows) if lows else None
+
+    def max_key(self):
+        highs = [m for m in (s.max_key() for s in self.shards
+                             if hasattr(s, "max_key")) if m is not None]
+        return max(highs) if highs else None
+
+    def range_query(self, lo: int, hi: int) -> list[tuple[int, int]]:
+        """Inclusive ordered window, merged across shards (a range
+        partitioner touches only the shards overlapping the window; hash
+        partitioning scatters the window everywhere)."""
+        out: list[tuple[int, int]] = []
+        for s in self.shards:
+            if hasattr(s, "range_query"):
+                out.extend(s.range_query(lo, hi))
+        return sorted(out)
+
+    def zombie_count(self) -> int:
+        return sum(s.zombie_count() for s in self.shards
+                   if hasattr(s, "zombie_count"))
+
+    def compact(self) -> int:
+        return sum(s.compact() for s in self.shards
+                   if hasattr(s, "compact"))
+
+    # -- engine shard-aware hooks -----------------------------------------
+    def split_batch(self, batch: OpBatch) -> list[np.ndarray]:
+        """Stable per-shard op-id arrays for ``batch`` (also refreshes
+        :attr:`last_shard_ops` for balance reporting)."""
+        per_shard = split_indices(
+            self.partitioner.shard_of_array(batch.keys), self.n_shards)
+        self.last_shard_ops = [int(ix.size) for ix in per_shard]
+        return per_shard
+
+    def batch_order(self, batch: OpBatch) -> np.ndarray:
+        """Interleaved-backend replay order: op ids dealt round-robin
+        across shards, so every wave advances every shard."""
+        return round_robin_order(self.split_batch(batch))
+
+    def plan_waves(self, keys, wave_size: int) -> list[list[int]]:
+        """Vectorized-backend wave plan: per-shard per-key-FIFO planning
+        (each shard gets an equal slice of the wave budget), zipped into
+        global waves by wave index."""
+        from ..engine.vectorized import plan_waves as plan
+        keys = np.asarray(keys, dtype=np.int64)
+        per_shard = split_indices(self.partitioner.shard_of_array(keys),
+                                  self.n_shards)
+        self.last_shard_ops = [int(ix.size) for ix in per_shard]
+        shard_budget = max(1, wave_size // self.n_shards)
+        plans = []
+        for ix in per_shard:
+            local = plan(keys[ix], shard_budget)
+            plans.append([[int(ix[j]) for j in wave] for wave in local])
+        return merge_waves(plans)
+
+    def _vector_contains(self, keys, tracer=None) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        out = np.zeros(keys.size, dtype=bool)
+        for s, ix in zip(self.shards,
+                         split_indices(
+                             self.partitioner.shard_of_array(keys),
+                             self.n_shards)):
+            if ix.size:
+                out[ix] = s.vector_contains(keys[ix], tracer=tracer)
+        return out
+
+    def _vector_search(self, keys, tracer=None):
+        keys = np.asarray(keys, dtype=np.int64)
+        found = np.zeros(keys.size, dtype=bool)
+        width = max((s.layout.max_level for s in self.shards), default=0)
+        paths = np.zeros((keys.size, width), dtype=np.int64)
+        for s, ix in zip(self.shards,
+                         split_indices(
+                             self.partitioner.shard_of_array(keys),
+                             self.n_shards)):
+            if ix.size:
+                f, p = s.vector_search(keys[ix], tracer=tracer)
+                found[ix] = f
+                paths[ix, : p.shape[1]] = p
+        return found, paths
+
+    def execute_batch(self, batch, backend="vectorized"):
+        """Replay an :class:`~repro.engine.OpBatch` through a backend
+        (mirrors :meth:`repro.core.GFSL.execute_batch`)."""
+        from ..engine import make_backend
+        be = backend if hasattr(backend, "execute") else make_backend(backend)
+        return be.execute(self, batch)
+
+    # -- observability fan-out -------------------------------------------
+    @property
+    def metrics(self) -> MetricsCollector | None:
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, collector: MetricsCollector | None) -> None:
+        if collector is None:
+            # Detach: fold per-shard counters into the aggregate so the
+            # caller's collector ends up with the whole window's counts.
+            if self._metrics is not None and self.shard_metrics is not None:
+                for child in self.shard_metrics:
+                    self._metrics.merge(child)
+            for s in self.shards:
+                s.metrics = None
+            self._metrics = None
+            return
+        self._metrics = collector
+        self.shard_metrics = [MetricsCollector() for _ in self.shards]
+        for s, child in zip(self.shards, self.shard_metrics):
+            s.metrics = child
+
+    @property
+    def chaos(self):
+        return self._chaos
+
+    @chaos.setter
+    def chaos(self, injector) -> None:
+        self._chaos = injector
+        for s in self.shards:
+            s.chaos = injector
+
+
+# ---------------------------------------------------------------------------
+# Builder
+# ---------------------------------------------------------------------------
+
+def build_sharded(kind: str, n_shards: int, workload, *,
+                  team_size: int = 32, p_chunk: float = 1.0,
+                  p_key: float = 0.5, device=None, seed: int = 0,
+                  partitioner="range") -> ShardedMap:
+    """Build a prefilled, warmed ``ShardedMap`` of ``n_shards``
+    instances of ``kind`` ("gfsl"/"mc") co-located on one device.
+
+    Sizing is per shard: each instance's pool covers its partition's
+    prefill plus the inserts routed to it, the shared context is sized
+    to the sum of the aligned regions, and each shard bulk-builds and
+    L2-warms its own region through the registry's placement-explicit
+    builders.
+    """
+    if kind not in STRUCTURES:
+        raise ValueError(f"unknown structure kind {kind!r}")
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    part = make_partitioner(partitioner, n_shards, int(workload.key_range))
+
+    prefill = np.asarray(workload.prefill, dtype=np.int64)
+    ops = np.asarray(workload.ops)
+    insert_keys = np.asarray(workload.keys, dtype=np.int64)[ops == OP_INSERT]
+    pf_ids = (part.shard_of_array(prefill) if prefill.size
+              else np.zeros(0, dtype=np.int64))
+    ins_ids = (part.shard_of_array(insert_keys) if insert_keys.size
+               else np.zeros(0, dtype=np.int64))
+
+    expected = [
+        int(np.count_nonzero(pf_ids == s))
+        + int(np.count_nonzero(ins_ids == s)) + 8
+        for s in range(n_shards)
+    ]
+    if n_shards == 1:
+        # Byte-identical to the bare builder (the differential contract).
+        expected[0] = _expected_keys(workload)
+    # Interior regions round up to the reservation alignment; the last
+    # one doesn't need tail padding, so a 1-shard build's context is
+    # word-for-word the size the bare builder would have allocated.
+    sizes = [region_words(kind, e, team_size) for e in expected]
+    total_words = sum(-(-w // _RESERVE_ALIGN) * _RESERVE_ALIGN
+                      for w in sizes[:-1]) + sizes[-1]
+    ctx = GPUContext(total_words, device=device)
+
+    build = structure_spec(kind).build
+    shards = [
+        build(workload, team_size=team_size, p_chunk=p_chunk, p_key=p_key,
+              seed=seed + s, ctx=ctx, prefill=prefill[pf_ids == s],
+              expected=expected[s])
+        for s in range(n_shards)
+    ]
+    return ShardedMap(shards, part, ctx, kind)

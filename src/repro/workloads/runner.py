@@ -26,7 +26,8 @@ from ..baseline import MC_KERNEL, MCSkiplist
 from ..baseline.node import HEADER_WORDS
 from ..core import GFSL, GFSL_KERNEL
 from ..core.bulk import DEFAULT_FILL, _per_chunk
-from ..engine import Backend, OpBatch, make_backend, make_structure
+from ..engine import (Backend, OpBatch, make_backend, make_structure,
+                      parse_structure_kind)
 from ..gpu import DeviceConfig, LaunchConfig, TraceStats
 from ..gpu.kernel import default_concurrency
 from ..gpu.occupancy import compute_occupancy
@@ -64,6 +65,8 @@ class RunResult:
     l2_hit_rate: float
     transactions_per_op: float
     oom: bool = False
+    #: Shard count of the structure (1 = unsharded single instance).
+    shards: int = 1
     #: Host wall-clock of the replay itself (informational — the model
     #: time is ``seconds``; this one varies across machines).
     wall_seconds: float = 0.0
@@ -150,9 +153,15 @@ def run_workload(structure_kind: str, workload: Workload,
                  seed: int = 0,
                  enforce_paper_oom: bool = True,
                  backend: str | Backend = "interleaved",
-                 metrics=None) -> RunResult:
+                 metrics=None, shards: int | None = None,
+                 partitioner: str = "range") -> RunResult:
     """Execute one benchmark point.  ``structure_kind`` is ``"gfsl"`` or
-    ``"mc"``.
+    ``"mc"``, optionally with an ``@<shards>`` suffix (``"gfsl@4"``).
+
+    ``shards`` (or the suffix) partitions the key space across that many
+    co-located instances via :mod:`repro.shard`; ``partitioner`` selects
+    the split ("range"/"hash").  ``shards=None`` without a suffix is the
+    classic single-instance build.
 
     ``backend`` selects the batch-engine execution path (name from
     :func:`repro.engine.available_backends` or a ready
@@ -170,7 +179,10 @@ def run_workload(structure_kind: str, workload: Workload,
     and its snapshot lands in ``RunResult.counters``.
     """
     device = device or DeviceConfig.gtx970()
-    if structure_kind == "gfsl":
+    base_kind, kind_shards = parse_structure_kind(structure_kind)
+    is_sharded = "@" in structure_kind or shards is not None
+    n_shards = kind_shards if shards is None else int(shards)
+    if base_kind == "gfsl":
         kernel = GFSL_KERNEL
         if team_size < 32:
             # Sub-warp teams pay mask-management overhead on every
@@ -185,25 +197,38 @@ def run_workload(structure_kind: str, workload: Workload,
                 op_overhead_instructions=GFSL_KERNEL.op_overhead_instructions
                 * factor)
         launch = launch or LaunchConfig(warps_per_block=16, team_size=team_size)
-        st = build_gfsl(workload, team_size=team_size, p_chunk=p_chunk,
-                        device=device, seed=seed)
+        if is_sharded:
+            st = make_structure(base_kind, workload, shards=n_shards,
+                                partitioner=partitioner,
+                                team_size=team_size, p_chunk=p_chunk,
+                                device=device, seed=seed)
+        else:
+            st = build_gfsl(workload, team_size=team_size, p_chunk=p_chunk,
+                            device=device, seed=seed)
         slots = max(1, len(workload.prefill)
                     // _per_chunk(st.geo, DEFAULT_FILL))
         conflict = GFSL_CONTENTION
         label = f"GFSL-{team_size}"
-    elif structure_kind == "mc":
+    elif base_kind == "mc":
         if enforce_paper_oom and not mc_paper_scale_feasible(
                 workload.key_range, workload.mixture):
             return RunResult.oom_point("M&C", 32, workload.key_range,
                                        workload.mixture.name)
         kernel = MC_KERNEL
         launch = launch or LaunchConfig(warps_per_block=16, team_size=32)
-        st = build_mc(workload, p_key=p_key, device=device, seed=seed)
+        if is_sharded:
+            st = make_structure(base_kind, workload, shards=n_shards,
+                                partitioner=partitioner, p_key=p_key,
+                                device=device, seed=seed)
+        else:
+            st = build_mc(workload, p_key=p_key, device=device, seed=seed)
         slots = max(1, len(workload.prefill))
         conflict = MC_CONTENTION
         label = "M&C"
     else:
         raise ValueError(f"unknown structure kind {structure_kind!r}")
+    if is_sharded:
+        label = f"{label}x{n_shards}"
 
     occ = compute_occupancy(device, launch, kernel)
     extra = contention_serial_cycles(device, occ, kernel, workload, slots,
@@ -231,7 +256,7 @@ def run_workload(structure_kind: str, workload: Workload,
         extra_serial_cycles=extra)
     return RunResult(
         structure=label,
-        team_size=team_size if structure_kind == "gfsl" else 32,
+        team_size=team_size if base_kind == "gfsl" else 32,
         key_range=workload.key_range,
         mixture_name=workload.mixture.name,
         n_ops=workload.n_ops,
@@ -242,6 +267,7 @@ def run_workload(structure_kind: str, workload: Workload,
         occupancy=timing.achieved_occupancy,
         l2_hit_rate=stats.l2_hit_rate,
         transactions_per_op=stats.transactions / max(1, workload.n_ops),
+        shards=n_shards if is_sharded else 1,
         wall_seconds=wall,
         counters=metrics.as_dict() if metrics is not None else None,
     )

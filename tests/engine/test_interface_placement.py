@@ -1,0 +1,78 @@
+"""Placement-explicit builders: instances no longer assume they own the
+device.  The registry builders accept a shared context (reserving their
+region) or an explicit base, and a prefill/expected override — the
+contract the sharding layer builds on."""
+
+import numpy as np
+import pytest
+
+from repro.engine import region_words
+from repro.engine.interface import _build_gfsl, _build_mc, parse_structure_kind
+from repro.gpu.kernel import RESERVE_ALIGN, GPUContext
+from repro.workloads import MIX_10_10_80, generate
+
+
+def _workload(seed=31):
+    return generate(MIX_10_10_80, key_range=1_500, n_ops=200, seed=seed)
+
+
+@pytest.mark.parametrize("kind,build", [("gfsl", _build_gfsl),
+                                        ("mc", _build_mc)])
+def test_two_instances_coexist_on_one_context(kind, build):
+    w = _workload()
+    expected = len(w.prefill) + len(w.ops) + 8
+    words = region_words(kind, expected)
+    aligned = -(-words // RESERVE_ALIGN) * RESERVE_ALIGN
+    ctx = GPUContext(aligned + words)
+    a = build(w, ctx=ctx, expected=expected, seed=1)
+    b = build(w, ctx=ctx, expected=expected, seed=2,
+              prefill=np.asarray([], dtype=np.int64))
+    assert a.ctx is ctx and b.ctx is ctx
+    # Both prefilled states are intact: building b did not clobber a.
+    assert a.keys() == sorted(int(k) for k in w.prefill)
+    assert b.keys() == []
+    # Mutations stay inside each instance's region.
+    probe = int(w.key_range) + 5
+    a.insert(probe)
+    assert a.contains(probe) and not b.contains(probe)
+    b.insert(probe)
+    a.delete(probe)
+    assert b.contains(probe) and not a.contains(probe)
+
+
+def test_explicit_base_is_honoured():
+    w = _workload()
+    expected = len(w.prefill) + len(w.ops) + 8
+    base = 4 * RESERVE_ALIGN
+    ctx = GPUContext(base + region_words("gfsl", expected))
+    sl = _build_gfsl(w, ctx=ctx, base=base, expected=expected)
+    assert sl.layout.base == base
+    assert sl.keys() == sorted(int(k) for k in w.prefill)
+
+
+def test_default_build_unchanged():
+    w = _workload()
+    sl = _build_gfsl(w)
+    assert sl.layout.base == 0
+    assert sl.ctx.mem.num_words == sl.layout.total_words
+    mc = _build_mc(w)
+    assert mc.pool.base == 0
+
+
+def test_reserve_alignment_and_exhaustion():
+    ctx = GPUContext(100)
+    assert ctx.reserve(10) == 0
+    assert ctx.reserve(10) == RESERVE_ALIGN  # bumped to the next line
+    assert ctx.reserved_words == RESERVE_ALIGN + 10
+    with pytest.raises(MemoryError):
+        ctx.reserve(1000)
+    with pytest.raises(ValueError):
+        ctx.reserve(0)
+
+
+def test_parse_structure_kind():
+    assert parse_structure_kind("gfsl") == ("gfsl", 1)
+    assert parse_structure_kind("mc@4") == ("mc", 4)
+    for bad in ("gfsl@", "gfsl@0", "gfsl@-2", "gfsl@x"):
+        with pytest.raises(ValueError):
+            parse_structure_kind(bad)

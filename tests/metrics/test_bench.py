@@ -47,6 +47,18 @@ class TestRunGrid:
         assert list(traces) == ["gfsl/interleaved/[10,10,80]@256"]
         assert len(next(iter(traces.values())).spans) > 0
 
+    def test_shard_dimension(self):
+        doc, _ = B.run_grid(["vectorized"], ["gfsl"], key_ranges=(512,),
+                            n_ops=60, seed=7, shard_counts=(1, 2))
+        assert B.validate_bench(doc) == []
+        shards = [row["shards"] for row in doc["rows"]]
+        assert shards == [1, 2]
+        # Shard count is part of the row identity.
+        keys = {B.row_key(r) for r in doc["rows"]}
+        assert len(keys) == 2
+        # All cells produced real throughput.
+        assert all(row["mops"] > 0 for row in doc["rows"])
+
 
 class TestValidate:
     def test_rejects_wrong_schema(self, tiny_doc):
@@ -98,6 +110,21 @@ class TestCompare:
         cmp = B.compare_bench(_fake_doc(None), _fake_doc(100.0),
                               threshold=0.20)
         assert cmp["regressions"] == []
+
+    def test_v1_rows_without_shards_still_match(self):
+        # Schema-v1 rows have no "shards" key; they read as shards=1 and
+        # keep matching v2 rows with explicit shards=1.
+        new = _fake_doc(70.0)
+        new["rows"][0]["shards"] = 1
+        cmp = B.compare_bench(new, _fake_doc(100.0), threshold=0.20)
+        assert len(cmp["regressions"]) == 1 and cmp["unmatched"] == []
+
+    def test_shard_counts_distinguish_rows(self):
+        new = _fake_doc(70.0)
+        new["rows"][0]["shards"] = 4
+        cmp = B.compare_bench(new, _fake_doc(100.0), threshold=0.20)
+        assert cmp["regressions"] == []
+        assert len(cmp["unmatched"]) == 1
 
 
 class TestFiles:

@@ -1,0 +1,54 @@
+"""Partitioner unit tests: totality, determinism, balance."""
+
+import numpy as np
+import pytest
+
+from repro.shard import (HashPartitioner, Partitioner, RangePartitioner,
+                         make_partitioner)
+
+ALL_KINDS = ("range", "hash")
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_total_and_deterministic(kind):
+    part = make_partitioner(kind, 4, 10_000)
+    keys = np.arange(1, 10_001, dtype=np.int64)
+    ids = part.shard_of_array(keys)
+    assert ids.min() >= 0 and ids.max() < 4
+    # Scalar path agrees with the vectorized path.
+    sample = keys[:: 977]
+    assert [part.shard_of(int(k)) for k in sample] \
+        == part.shard_of_array(sample).tolist()
+    # Same key always lands on the same shard.
+    assert np.array_equal(ids, part.shard_of_array(keys))
+
+
+def test_range_partitioner_is_contiguous_and_balanced():
+    part = RangePartitioner(4, 1000)
+    ids = part.shard_of_array(np.arange(1, 1001, dtype=np.int64))
+    # Contiguous: shard ids are non-decreasing over sorted keys.
+    assert np.all(np.diff(ids) >= 0)
+    # Balanced within one key for a uniform range.
+    counts = np.bincount(ids, minlength=4)
+    assert counts.max() - counts.min() <= 1
+    # Keys past the sizing hint overflow into the last shard.
+    assert part.shard_of(10**6) == 3
+
+
+def test_hash_partitioner_balances_clustered_keys():
+    part = HashPartitioner(4)
+    clustered = np.arange(1, 2001, dtype=np.int64)  # one dense run
+    counts = np.bincount(part.shard_of_array(clustered), minlength=4)
+    assert counts.min() > 0.15 * clustered.size  # no starved shard
+
+
+def test_make_partitioner_validation():
+    with pytest.raises(ValueError):
+        make_partitioner("nope", 2, 100)
+    ready = RangePartitioner(2, 100)
+    assert make_partitioner(ready, 2, 100) is ready
+    with pytest.raises(ValueError):
+        make_partitioner(ready, 4, 100)  # shard-count mismatch
+    with pytest.raises(TypeError):
+        make_partitioner(42, 2, 100)
+    assert isinstance(ready, Partitioner)  # protocol conformance

@@ -1,0 +1,40 @@
+"""Batch-router unit tests: stable ids, round-robin, wave zipping."""
+
+import numpy as np
+
+from repro.shard import merge_waves, round_robin_order, split_indices
+
+
+def test_split_indices_partitions_and_preserves_order():
+    ids = np.array([0, 2, 1, 0, 2, 2, 1, 0])
+    per_shard = split_indices(ids, 3)
+    assert [ix.tolist() for ix in per_shard] \
+        == [[0, 3, 7], [2, 6], [1, 4, 5]]
+    # Every op id appears exactly once.
+    merged = sorted(i for ix in per_shard for i in ix.tolist())
+    assert merged == list(range(len(ids)))
+
+
+def test_round_robin_order_deals_one_per_shard():
+    per_shard = [np.array([0, 3, 7]), np.array([2, 6]), np.array([1, 4, 5])]
+    order = round_robin_order(per_shard)
+    assert order.tolist() == [0, 2, 1, 3, 6, 4, 7, 5]
+
+
+def test_round_robin_order_single_shard_is_identity():
+    order = round_robin_order([np.arange(6, dtype=np.int64)])
+    assert order.tolist() == [0, 1, 2, 3, 4, 5]
+
+
+def test_round_robin_order_empty():
+    assert round_robin_order([]).tolist() == []
+    assert round_robin_order([np.zeros(0, dtype=np.int64)]).tolist() == []
+
+
+def test_merge_waves_zips_by_wave_index():
+    merged = merge_waves([[[0, 2], [4]], [[1], [3], [5]]])
+    assert merged == [[0, 2, 1], [4, 3], [5]]
+    # Single-shard plan passes through untouched.
+    assert merge_waves([[[7, 8], [9]]]) == [[7, 8], [9]]
+    # Empty global waves are dropped.
+    assert merge_waves([[], []]) == []
