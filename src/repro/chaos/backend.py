@@ -134,4 +134,5 @@ class ChaosBackend:
                 waves += 1
         finally:
             structure.chaos = prev_chaos
-        return BatchResult(results=results, backend=self.name, waves=waves)
+        return BatchResult(results=results, backend=self.name, waves=waves,
+                           gen_ops=len(results))

@@ -273,6 +273,8 @@ def cmd_bench(args) -> int:
     if args.markdown is not None:
         Path(args.markdown).write_text(md)
     print(md, end="")
+    for w in B.shard_bound_warnings(doc):
+        print(f"bench: warning: {w}", file=sys.stderr)
     print(f"wrote {out_path}")
     if comparison is not None and comparison["regressions"]:
         if args.warn_only:

@@ -350,6 +350,15 @@ class GFSL:
         from .vector import vector_search
         return vector_search(self, keys, tracer=tracer)
 
+    def vector_update_wave(self, ops, keys, values, tracer=None):
+        """Vectorized update critical sections for one wave of distinct
+        keys on quiescent memory: conflict-free groups execute batched,
+        everything else falls back to the hinted generator; returns
+        ``(results, handled, found, paths)`` (see
+        :func:`repro.core.vector.update_wave`)."""
+        from .vector import update_wave
+        return update_wave([self], None, ops, keys, values, tracer=tracer)
+
     def execute_batch(self, batch, backend="vectorized"):
         """Replay an :class:`~repro.engine.OpBatch` through a pluggable
         engine backend; returns its :class:`~repro.engine.BatchResult`."""

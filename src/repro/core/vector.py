@@ -1,21 +1,31 @@
-"""Vectorized multi-key traversal kernels for GFSL (engine support).
+"""Vectorized multi-key kernels for GFSL (engine support).
 
 The batch engine's :class:`~repro.engine.vectorized.VectorizedBackend`
-replays the read-only phases of a wave through these kernels instead of
-one generator per op: :func:`vector_contains` answers all the wave's
-``Contains`` operations, and :func:`vector_search` precomputes the
-``(found, path)`` result of :func:`~repro.core.traversal.search_slow`
-for the wave's updates, which then skip their own traversal and go
-straight to the lock/modify phase (the path entries are hints — every
-consumer re-walks laterally and re-validates under the chunk lock, and
-a level's head chunk is always a correct hint).
+replays whole waves through these kernels instead of one generator per
+op.  Three kernels are exposed, each in a single-instance flavour
+(``vector_*``) and a fused multi-instance flavour (``*_multi`` /
+:func:`update_wave`) that runs one lock-step dispatch across several
+co-located structures (the :class:`~repro.shard.ShardedMap` shards —
+per-op base offsets from ``GPUContext.reserve`` make the merged index
+space trivial):
+
+* :func:`vector_contains` / :func:`contains_multi` — answer all the
+  wave's ``Contains`` operations,
+* :func:`vector_search` / :func:`search_multi` — precompute the
+  ``(found, path)`` result of :func:`~repro.core.traversal.search_slow`
+  for the wave's updates (usable as generator hints),
+* :func:`update_wave` — the **vectorized critical sections**: partition
+  the wave's updates into conflict-free groups (distinct target chunks,
+  no split/merge/boundary hazards) and execute each group's
+  lock-acquire → modify → publish sequence as three batched accesses
+  against :class:`~repro.gpu.memory.GlobalMemory`, falling back to the
+  per-op generator for everything else.
 
 All in-flight searches advance in lock-step: each iteration gathers
-every search's current chunk with one numpy fancy-index against
-:class:`~repro.gpu.memory.GlobalMemory` and computes every team's
-ballot decision with one vectorized comparison, exactly the semantics
-of Algorithms 4.2–4.4/4.6 (``search_down`` + ``search_lateral``) but
-many ops wide.
+every search's current chunk with one numpy fancy-index and computes
+every team's ballot decision with one vectorized comparison, exactly
+the semantics of Algorithms 4.2–4.4/4.6 (``search_down`` +
+``search_lateral``) but many ops wide.
 
 The kernels require quiescent memory (the wave's update ops have not
 started), which is what makes the lock-free restart path unreachable;
@@ -26,11 +36,23 @@ performs no lazy zombie unlinking — that cleanup is best-effort by
 design, so skipping it affects only when zombies get unlinked, never
 results.)
 
-Tracer accounting is preserved per wave step: each iteration records one
-coalesced chunk access *per in-flight op* through
-:meth:`~repro.gpu.tracer.TransactionTracer.access_words_batch`, so the
-cost model sees the same access stream the per-op generators would have
-produced.
+The same contract governs :func:`update_wave`: a batched group is
+executed only when the quiescent snapshot *proves* no schedule of its
+operations could lock-conflict, split, merge, or touch an upper level,
+and the batched result (success flags, final bottom-level contents,
+``inserts``/``deletes`` counters) is then identical to sequential
+replay by construction.  Every hazard falls back to the hinted
+generator.  Fallback hints stay valid across the batched phase because
+batched groups never change chunk linkage and wave keys are distinct —
+a hint chunk is re-walked laterally and re-validated under the lock.
+
+Tracer accounting is preserved per wave step: each traversal iteration
+records one coalesced chunk access *per in-flight op* through
+:meth:`~repro.gpu.tracer.TransactionTracer.access_words_batch`, and
+each batched critical-section phase records one batch (lock CAS /
+re-read under lock / publish store) for the whole group — so the cost
+model sees batched updates as the three memory phases a real
+warp-cooperative update kernel would issue.
 """
 
 from __future__ import annotations
@@ -39,14 +61,34 @@ import numpy as np
 
 from ..gpu.scheduler import run_to_completion
 from . import constants as C
+from .chunk import pack_next
 
 _DOWN, _LATERAL = 0, 1
 
-# Diagnostics of the most recent kernel call: how many ops fell back to
-# their generator, and why.  Tests use this to assert the fallback path
-# stays cold on quiescent memory.
-last_call_diag = {"ops": 0, "fallback_backtrack": 0, "fallback_restart": 0,
-                  "fallback_stuck": 0}
+# Op codes of repro.engine.batch / repro.workloads.generator, restated
+# locally to keep core free of engine imports.
+_OP_INSERT, _OP_DELETE = 1, 2
+
+_DIAG_KEYS = ("ops", "fallback_backtrack", "fallback_restart",
+              "fallback_stuck", "batched", "fallback_conflict")
+
+
+def _fresh_diag(m: int) -> dict:
+    d = dict.fromkeys(_DIAG_KEYS, 0)
+    d["ops"] = m
+    return d
+
+
+# Diagnostics of the most recent kernel call (a snapshot alias — every
+# call returns/binds a *fresh* dict, so concurrent or sharded kernel
+# calls can never clobber a caller's diagnostics).  Tests use this to
+# assert the fallback path stays cold on quiescent memory.
+last_call_diag = _fresh_diag(0)
+
+
+def _publish_diag(diag: dict) -> None:
+    global last_call_diag
+    last_call_diag = diag
 
 
 def _highest_true_lane(flags: np.ndarray) -> np.ndarray:
@@ -58,53 +100,76 @@ def _highest_true_lane(flags: np.ndarray) -> np.ndarray:
     return tid
 
 
-def _traverse(sl, keys: np.ndarray, tracer, record_path: bool):
-    """The shared lock-step descent + bottom-level lateral walk.
+def _owner_array(owner, m: int) -> np.ndarray:
+    if owner is None:
+        return np.zeros(m, dtype=np.int64)
+    return np.asarray(owner, dtype=np.int64)
 
-    Returns ``(found, paths, fallback)``: a bool array aligned with
-    ``keys``, the per-op ``search_slow`` path matrix (or ``None`` when
-    ``record_path`` is false), and the list of op indices that must be
-    replayed through their generator.
+
+def _traverse(sls, owner: np.ndarray, keys: np.ndarray, tracer,
+              record_path: bool, track_upper: bool = False):
+    """The shared lock-step descent + bottom-level lateral walk, fused
+    across the instances in ``sls`` (``owner[i]`` names ``keys[i]``'s
+    instance; all instances share one memory/geometry).
+
+    Returns ``(found, paths, upper, fallback, diag)``: bool arrays
+    aligned with ``keys`` (``paths`` is the per-op ``search_slow`` path
+    matrix, or ``None`` when ``record_path`` is false; ``upper[i]`` is
+    True iff ``keys[i]`` was seen in a level ≥ 1 chunk — exact for
+    non-fallback ops, since the descent visits the enclosing chunk of
+    every level), the list of op indices that must be replayed through
+    their generator, and the per-call diagnostics dict.
     """
     m = int(keys.size)
-    geo, lay = sl.geo, sl.layout
-    words = sl.ctx.mem.raw()
+    geo = sls[0].geo
+    words = sls[0].ctx.mem.raw()
     dsize, n = geo.dsize, geo.n
     mask32 = np.uint64(C.MASK32)
+    S = len(sls)
+    max_levels = np.fromiter((s.layout.max_level for s in sls),
+                             dtype=np.int64, count=S)
+    width = int(max_levels.max())
 
     # Every search starts with the coalesced head-array read of
-    # Algorithm 4.2; memory is quiescent so one snapshot serves all ops,
-    # but the cost model still sees one access per op.
-    head = words[lay.head_base: lay.head_base + lay.max_level]
+    # Algorithm 4.2; memory is quiescent so one snapshot per instance
+    # serves all its ops, but the cost model still sees one access per
+    # op (at that op's instance's head base).
+    head_bases = np.fromiter((s.layout.head_base for s in sls),
+                             dtype=np.int64, count=S)
+    chunk_bases = np.fromiter((s.layout.chunks_base for s in sls),
+                              dtype=np.int64, count=S)
     if tracer is not None:
-        tracer.access_words_batch(
-            np.full(m, lay.head_base, dtype=np.int64), lay.max_level,
-            coalesced=True)
+        tracer.access_words_batch(head_bases[owner], max_levels[owner],
+                                  coalesced=True)
         tracer.record_compute(m)
-    counts = (head & mask32).astype(np.int64)
-    ptrs = (head >> np.uint64(32)).astype(np.int64)
-    nz = np.nonzero(counts > 0)[0]
-    height0 = int(nz[-1]) if nz.size else 0
+    counts = np.zeros((S, width), dtype=np.int64)
+    ptrs = np.zeros((S, width), dtype=np.int64)
+    height0 = np.zeros(S, dtype=np.int64)
+    for si in range(S):
+        ml = int(max_levels[si])
+        head = words[head_bases[si]: head_bases[si] + ml]
+        counts[si, :ml] = (head & mask32).astype(np.int64)
+        ptrs[si, :ml] = (head >> np.uint64(32)).astype(np.int64)
+        nz = np.nonzero(counts[si, :ml] > 0)[0]
+        height0[si] = int(nz[-1]) if nz.size else 0
 
-    pcurr = np.full(m, ptrs[height0], dtype=np.int64)
-    height = np.full(m, height0, dtype=np.int64)
-    phase = np.full(m, _DOWN if height0 > 0 else _LATERAL, dtype=np.int8)
+    cbase = chunk_bases[owner]
+    height = height0[owner].copy()
+    pcurr = ptrs[owner, height]
+    phase = np.where(height > 0, _DOWN, _LATERAL).astype(np.int8)
     prev = np.zeros((m, n), dtype=np.uint64)
     prev_ptr = np.zeros(m, dtype=np.int64)
     have_prev = np.zeros(m, dtype=bool)
     found = np.zeros(m, dtype=bool)
+    upper = np.zeros(m, dtype=bool)
     active = np.ones(m, dtype=bool)
     # The "artificial array": every level defaults to its head chunk —
     # always a valid lateral starting point (search_slow does the same).
-    paths = None
-    if record_path:
-        paths = np.repeat(ptrs[np.newaxis, :], m, axis=0)
+    paths = ptrs[owner].copy() if record_path else None
     fallback: list[int] = []
     offs = np.arange(n, dtype=np.int64)
     steps = 0
-    diag = last_call_diag
-    diag.update(ops=m, fallback_backtrack=0, fallback_restart=0,
-                fallback_stuck=0)
+    diag = _fresh_diag(m)
 
     while True:
         act = np.nonzero(active)[0]
@@ -117,7 +182,7 @@ def _traverse(sl, keys: np.ndarray, tracer, record_path: bool):
             diag["fallback_stuck"] += act.size
             break
 
-        addrs = lay.chunks_base + pcurr[act] * n
+        addrs = cbase[act] + pcurr[act] * n
         if tracer is not None:
             tracer.access_words_batch(addrs, n, coalesced=True)
             tracer.record_compute(act.size)
@@ -154,6 +219,13 @@ def _traverse(sl, keys: np.ndarray, tracer, record_path: bool):
             if down.any():
                 g = act[down]
                 rows = np.nonzero(down)[0]
+                if track_upper:
+                    # The down-step chunk *is* the key's enclosing chunk
+                    # at this (≥ 1) level, so an equality hit here is an
+                    # exact upper-level presence test.
+                    hit = (keys_m[rows, :dsize] == kk[down][:, None]) \
+                        .any(axis=1)
+                    upper[g[hit]] = True
                 if record_path:
                     paths[g, height[g]] = pcurr[g]
                 pcurr[g] = vals_m[rows, tid[down]]
@@ -169,6 +241,9 @@ def _traverse(sl, keys: np.ndarray, tracer, record_path: bool):
                     g = act[bt]
                     pk = (prev[g] & mask32).astype(np.int64)[:, :dsize]
                     tidb = _highest_true_lane(pk <= kk[bt][:, None])
+                    if track_upper:
+                        hitb = (pk == kk[bt][:, None]).any(axis=1)
+                        upper[g[hitb]] = True
                     ok = tidb >= 0
                     gg = g[ok]
                     rows = np.nonzero(ok)[0]
@@ -208,7 +283,7 @@ def _traverse(sl, keys: np.ndarray, tracer, record_path: bool):
                 found[g] = tid2[done] != C.NONE_TID
                 active[g] = False
 
-    return found, paths, fallback
+    return found, paths, upper, fallback, diag
 
 
 def _check_keys(sl, keys: np.ndarray) -> None:
@@ -217,41 +292,276 @@ def _check_keys(sl, keys: np.ndarray) -> None:
         sl._check_key(int(keys[np.nonzero(bad)[0][0]]))  # raises
 
 
-def vector_contains(sl, keys: np.ndarray, tracer=None) -> np.ndarray:
-    """Lock-step membership test for many keys on quiescent memory.
+def _count_per_owner(sls, owner: np.ndarray, idx_all: np.ndarray,
+                     idx_sub) -> np.ndarray:
+    """Ops per instance in ``idx_all`` minus those in ``idx_sub``."""
+    S = len(sls)
+    total = np.bincount(owner[idx_all], minlength=S)
+    if len(idx_sub):
+        total -= np.bincount(owner[np.asarray(idx_sub, dtype=np.int64)],
+                             minlength=S)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Read kernels
+# ---------------------------------------------------------------------------
+
+def contains_multi(sls, owner, keys: np.ndarray, tracer=None) -> np.ndarray:
+    """Fused lock-step membership test across co-located instances.
 
     Returns a boolean array aligned with ``keys``.  Op accounting
-    (``contains_calls``) matches running ``contains_gen`` once per key.
+    (``contains_calls``) matches running ``contains_gen`` once per key
+    on the owning instance.
     """
     keys = np.asarray(keys, dtype=np.int64)
     if keys.size == 0:
+        _publish_diag(_fresh_diag(0))
         return np.zeros(0, dtype=bool)
-    _check_keys(sl, keys)
-    found, _paths, fallback = _traverse(sl, keys, tracer, record_path=False)
-    sl.op_stats.contains_calls += int(keys.size) - len(fallback)
+    owner = _owner_array(owner, keys.size)
+    _check_keys(sls[0], keys)
+    found, _paths, _upper, fallback, diag = _traverse(
+        sls, owner, keys, tracer, record_path=False)
+    for si, cnt in enumerate(
+            _count_per_owner(sls, owner, np.arange(keys.size), fallback)):
+        sls[si].op_stats.contains_calls += int(cnt)
     for i in fallback:
-        found[i] = sl.ctx.run(sl.contains_gen(int(keys[i])))
+        s = sls[int(owner[i])]
+        found[i] = s.ctx.run(s.contains_gen(int(keys[i])))
+    _publish_diag(diag)
     return found
 
 
+def search_multi(sls, owner, keys: np.ndarray, tracer=None):
+    """Fused lock-step ``search_slow`` across co-located instances;
+    returns ``(found, paths)`` usable as update hints."""
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        _publish_diag(_fresh_diag(0))
+        return (np.zeros(0, dtype=bool),
+                np.zeros((0, sls[0].layout.max_level), dtype=np.int64))
+    owner = _owner_array(owner, keys.size)
+    _check_keys(sls[0], keys)
+    found, paths, _upper, fallback, diag = _traverse(
+        sls, owner, keys, tracer, record_path=True)
+    from .traversal import search_slow
+    for i in fallback:
+        s = sls[int(owner[i])]
+        f, p = run_to_completion(search_slow(s, int(keys[i])),
+                                 s.ctx.mem, tracer)
+        found[i] = f
+        p = np.asarray(p, dtype=np.int64)
+        paths[i, : p.size] = p
+    _publish_diag(diag)
+    return found, paths
+
+
+def vector_contains(sl, keys: np.ndarray, tracer=None) -> np.ndarray:
+    """Lock-step membership test for many keys on quiescent memory
+    (single-instance wrapper over :func:`contains_multi`)."""
+    return contains_multi([sl], None, keys, tracer=tracer)
+
+
 def vector_search(sl, keys: np.ndarray, tracer=None):
-    """Lock-step ``search_slow`` for many keys on quiescent memory.
+    """Lock-step ``search_slow`` for many keys on quiescent memory
+    (single-instance wrapper over :func:`search_multi`).
 
     Returns ``(found, paths)`` where row ``i`` of ``paths`` is the
     per-level chunk-pointer path for ``keys[i]`` — directly usable as
     the ``hint`` of :func:`repro.core.insert.insert` /
     :func:`repro.core.delete.delete`.
     """
+    return search_multi([sl], None, keys, tracer=tracer)
+
+
+# ---------------------------------------------------------------------------
+# The vectorized update critical sections
+# ---------------------------------------------------------------------------
+
+def _batchable(geo, W, op_sel, key_sel, mask32):
+    """Decide whether one target chunk's operation group can be executed
+    batched under every sequential schedule.  Returns the live entries
+    on success, None on any hazard (the conflict-group contract of
+    DESIGN.md §12)."""
+    if int(W[geo.lock_idx]) != C.UNLOCKED:      # locked or zombie
+        return None
+    dk = (W[: geo.dsize] & mask32).astype(np.int64)
+    live = dk != C.EMPTY_KEY
+    if not bool(((dk != C.EMPTY_KEY) & (dk != C.NEG_INF_KEY)).any()):
+        return None                             # head-counter discipline
+    nlive = int(np.count_nonzero(live))
+    ins = op_sel == _OP_INSERT
+    n_ins = int(np.count_nonzero(ins))
+    n_del = int(op_sel.size) - n_ins
+    if nlive + n_ins > geo.dsize:               # a schedule could split
+        return None
+    if nlive - n_del <= geo.merge_threshold:    # a schedule could merge
+        return None
+    maxf = int(W[geo.next_idx] & mask32)
+    if bool((key_sel > maxf).any()):            # stale enclosure hint
+        return None
+    dk_live = dk[live]
+    ins_present = np.isin(key_sel[ins], dk_live)
+    del_absent = ~np.isin(key_sel[~ins], dk_live)
+    if bool(ins_present.any()) or bool(del_absent.any()):
+        return None                             # stale presence hint
+    if n_ins and bool((key_sel[~ins] == maxf).any()):
+        return None            # boundary-delete + insert: order-sensitive
+    return W[: geo.dsize][live]
+
+
+def _chunk_image(geo, entries, op_sel, key_sel, val_sel, maxf: int,
+                 nxt: int, mask32) -> np.ndarray:
+    """The chunk's published word image after applying the group: live
+    entries minus deletes plus inserts, sorted, EMPTY-padded, boundary
+    lowered to the highest remaining key iff the boundary key was
+    deleted, lock released."""
+    ins = op_sel == _OP_INSERT
+    del_keys = key_sel[~ins]
+    ekeys = (entries & mask32).astype(np.int64)
+    kept = entries[~np.isin(ekeys, del_keys)]
+    if ins.any():
+        new = (key_sel[ins].astype(np.uint64)
+               | (val_sel[ins].astype(np.uint64) << np.uint64(32)))
+        kept = np.concatenate([kept, new])
+    kept = kept[np.argsort((kept & mask32).astype(np.int64),
+                           kind="stable")]
+    img = np.full(geo.n, np.uint64(C.EMPTY_KV), dtype=np.uint64)
+    img[: kept.size] = kept
+    if bool((del_keys == maxf).any()):
+        maxf = int((kept[-1] & mask32))
+    img[geo.next_idx] = np.uint64(pack_next(maxf, nxt))
+    img[geo.lock_idx] = np.uint64(C.UNLOCKED)
+    return img
+
+
+def update_wave(sls, owner, ops: np.ndarray, keys: np.ndarray,
+                values: np.ndarray, tracer=None):
+    """Execute a wave's update critical sections batched where provably
+    conflict-free; returns ``(results, handled, found, paths)``.
+
+    ``handled[i]`` marks ops fully resolved here (batched groups plus
+    trivially-false outcomes — insert of a present key / delete of an
+    absent one, which the generator would answer before locking
+    anything).  For ``~handled`` ops the caller replays the hinted
+    generator with ``(found[i], paths[i])``, exactly the pre-existing
+    fallback contract.
+
+    A target chunk's group is batched only when the quiescent snapshot
+    shows: unlocked non-zombie chunk with user keys, no schedule of the
+    group can split (``nlive + inserts <= dsize``) or merge
+    (``nlive - deletes > merge_threshold``), hints are fresh, deletes
+    have no upper-level copies, and no boundary-key delete mixes with
+    inserts.  Each batched group then costs one scalar atomic lock CAS,
+    one coalesced chunk re-read under the lock, and one coalesced
+    publish store (data + boundary + lock release in one chunk-wide
+    image) — charged per group, not per word.
+    """
     keys = np.asarray(keys, dtype=np.int64)
-    if keys.size == 0:
-        return np.zeros(0, dtype=bool), np.zeros(
-            (0, sl.layout.max_level), dtype=np.int64)
-    _check_keys(sl, keys)
-    found, paths, fallback = _traverse(sl, keys, tracer, record_path=True)
+    ops = np.asarray(ops, dtype=np.int64)
+    values = np.asarray(values, dtype=np.int64)
+    m = int(keys.size)
+    geo, lay0 = sls[0].geo, sls[0].layout
+    if m == 0:
+        _publish_diag(_fresh_diag(0))
+        return (np.zeros(0, dtype=bool), np.zeros(0, dtype=bool),
+                np.zeros(0, dtype=bool),
+                np.zeros((0, lay0.max_level), dtype=np.int64))
+    owner = _owner_array(owner, m)
+    _check_keys(sls[0], keys)
+    found, paths, upper, fallback, diag = _traverse(
+        sls, owner, keys, tracer, record_path=True, track_upper=True)
+
+    clean = np.ones(m, dtype=bool)
     from .traversal import search_slow
     for i in fallback:
-        f, p = run_to_completion(search_slow(sl, int(keys[i])),
-                                 sl.ctx.mem, tracer)
+        s = sls[int(owner[i])]
+        f, p = run_to_completion(search_slow(s, int(keys[i])),
+                                 s.ctx.mem, tracer)
         found[i] = f
-        paths[i] = np.asarray(p, dtype=np.int64)
-    return found, paths
+        p = np.asarray(p, dtype=np.int64)
+        paths[i, : p.size] = p
+        clean[i] = False
+
+    results = np.zeros(m, dtype=bool)
+    handled = np.zeros(m, dtype=bool)
+    # Trivially-false outcomes: the generator answers these from the
+    # (hinted) search result before taking any lock, so resolving them
+    # here is charge- and counter-identical.
+    trivial = clean & (((ops == _OP_INSERT) & found)
+                       | ((ops == _OP_DELETE) & ~found))
+    handled |= trivial
+
+    cand = clean & ~trivial
+    cand &= ~((ops == _OP_DELETE) & upper)   # upper copies: level sweep
+    idx = np.nonzero(cand)[0]
+
+    words = sls[0].ctx.mem.raw()
+    chunk_bases = np.fromiter((s.layout.chunks_base for s in sls),
+                              dtype=np.int64, count=len(sls))
+    mask32 = np.uint64(C.MASK32)
+    n = geo.n
+    batched_addrs: list[int] = []
+    images: list[np.ndarray] = []
+    per_shard_groups = np.zeros(len(sls), dtype=np.int64)
+    per_shard_ins = np.zeros(len(sls), dtype=np.int64)
+    per_shard_del = np.zeros(len(sls), dtype=np.int64)
+
+    if idx.size:
+        tgt = paths[idx, 0]
+        cluster = owner[idx] * np.int64(2**32) + tgt
+        for cid in np.unique(cluster):
+            sel = idx[cluster == cid]
+            si = int(owner[sel[0]])
+            addr = int(chunk_bases[si] + paths[sel[0], 0] * n)
+            W = words[addr: addr + n]
+            op_sel, key_sel = ops[sel], keys[sel]
+            entries = _batchable(geo, W, op_sel, key_sel, mask32)
+            if entries is None:
+                continue
+            maxf = int(W[geo.next_idx] & mask32)
+            nxt = int(W[geo.next_idx] >> np.uint64(32))
+            images.append(_chunk_image(geo, entries, op_sel, key_sel,
+                                       values[sel], maxf, nxt, mask32))
+            batched_addrs.append(addr)
+            handled[sel] = True
+            results[sel] = True
+            n_ins = int(np.count_nonzero(op_sel == _OP_INSERT))
+            per_shard_groups[si] += 1
+            per_shard_ins[si] += n_ins
+            per_shard_del[si] += len(sel) - n_ins
+
+    if batched_addrs:
+        addrs = np.asarray(batched_addrs, dtype=np.int64)
+        g = int(addrs.size)
+        n_batched = int(per_shard_ins.sum() + per_shard_del.sum())
+        if tracer is not None:
+            # Phase 1 — lock acquire: one scalar atomic CAS per group.
+            tracer.access_words_batch(addrs + geo.lock_idx, 1,
+                                      coalesced=False, atomic=True)
+            tracer.record_compute(g)
+            # Phase 2 — coalesced re-read under the lock (the
+            # find_and_lock_enclosing line-16 re-validation).
+            tracer.access_words_batch(addrs, n, coalesced=True)
+            tracer.record_compute(g)
+        words[addrs[:, None] + np.arange(n, dtype=np.int64)] = \
+            np.stack(images)
+        if tracer is not None:
+            # Phase 3 — publish: one coalesced chunk-wide store carrying
+            # data, boundary, and lock release.
+            tracer.access_words_batch(addrs, n, coalesced=True)
+            tracer.record_compute(g)
+            tracer.record_compute(n_batched)   # the modify work itself
+        for si, s in enumerate(sls):
+            if per_shard_groups[si]:
+                s.op_stats.inserts += int(per_shard_ins[si])
+                s.op_stats.deletes += int(per_shard_del[si])
+                mc = getattr(s, "metrics", None)
+                if mc is not None:
+                    mc.lock_acquired += int(per_shard_groups[si])
+                    mc.lock_released += int(per_shard_groups[si])
+                    mc.chunk_reads += int(per_shard_groups[si])
+        diag["batched"] = n_batched
+    diag["fallback_conflict"] = int(np.count_nonzero(~handled))
+    _publish_diag(diag)
+    return results, handled, found, paths

@@ -41,12 +41,17 @@ class BatchResult:
     ``results[i]`` is the return value of operation ``i`` of the batch
     (bool for all three paper ops).  ``waves`` counts scheduling rounds:
     ``len(batch)`` for sequential, ceil(len/concurrency) for the wave
-    backends.
+    backends.  ``gen_ops`` counts ops that ran as per-op Python
+    generators — ``len(results)`` for the generator backends, only the
+    vectorized backend's fallback ops otherwise; the cost model scales
+    its serialization charge by ``gen_ops / n_ops`` (``None`` means the
+    backend predates the field and charges fully).
     """
 
     results: list[Any]
     backend: str
     waves: int = 1
+    gen_ops: int | None = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -85,7 +90,7 @@ class SequentialBackend:
             m.waves += len(results)
             m.wave_ops += len(results)
         return BatchResult(results=results, backend=self.name,
-                           waves=len(results))
+                           waves=len(results), gen_ops=len(results))
 
 
 class InterleavedBackend:
@@ -164,7 +169,8 @@ class InterleavedBackend:
                 m.waves += 1
                 m.wave_ops += end - start
             waves += 1
-        return BatchResult(results=results, backend=self.name, waves=waves)
+        return BatchResult(results=results, backend=self.name, waves=waves,
+                           gen_ops=len(results))
 
 
 BACKEND_NAMES = ("sequential", "interleaved", "interleaved-chaos",

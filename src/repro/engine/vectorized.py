@@ -13,6 +13,13 @@ engine two batching opportunities per wave:
   ``vector_contains`` capability (the M&C baseline) simply run their
   contains generators with the updates.
 
+* **Vectorized critical sections.** When the structure also exposes
+  ``vector_update_wave``, the wave's inserts/deletes are handed to
+  :func:`repro.core.vector.update_wave`, which executes every
+  provably conflict-free group's lock–modify–publish sequence as three
+  batched accesses and returns the rest with precomputed traversal
+  hints — only those fall through to per-op generators below.
+
 * **Homogeneous event groups.** The wave's remaining generators advance
   in lock-step; each tick's ``ChunkRead``/``WordRead`` events are
   grouped and dispatched through one fancy-index against
@@ -209,6 +216,8 @@ class VectorizedBackend:
         n_waves = 0
 
         can_search = can_vector and hasattr(structure, "vector_search")
+        can_update = can_vector and hasattr(structure, "vector_update_wave")
+        gen_ops = 0
         for wave in waves:
             idx = np.asarray(wave, dtype=np.int64)
             if idx.size == 0:
@@ -232,12 +241,28 @@ class VectorizedBackend:
                     for i, hit in zip(cidx.tolist(), found.tolist()):
                         results[i] = bool(hit)
                     rest = idx[~contains_mask]
-                if can_search and rest.size:
+                if can_update and rest.size:
+                    # The vectorized critical sections: conflict-free
+                    # update groups execute batched; the rest get their
+                    # precomputed traversal as a generator hint.
+                    ures, handled, ufound, upaths = \
+                        structure.vector_update_wave(
+                            batch.ops[rest], batch.keys[rest],
+                            batch.values[rest], tracer=ctx.tracer)
+                    for row, i in enumerate(rest.tolist()):
+                        if handled[row]:
+                            results[i] = bool(ures[row])
+                        else:
+                            hints[i] = (bool(ufound[row]),
+                                        upaths[row].tolist())
+                    rest = rest[~handled]
+                elif can_search and rest.size:
                     ufound, upaths = structure.vector_search(
                         batch.keys[rest], tracer=ctx.tracer)
                     for row, i in enumerate(rest.tolist()):
                         hints[i] = (bool(ufound[row]), upaths[row].tolist())
             if rest.size:
+                gen_ops += int(rest.size)
                 tasks = [(i, self._op_gen(structure, batch, i, hints))
                          for i in rest.tolist()]
                 labels = None
@@ -250,11 +275,15 @@ class VectorizedBackend:
                         spans=spans, span_labels=labels).items():
                     results[slot] = value
             if spans is not None:
+                if spans.clock == wave_start:
+                    # Fully batched wave: no generator ticks ran, but the
+                    # wave still occupies one lock-step round.
+                    spans.advance(1)
                 spans.add(f"wave {n_waves - 1}", wave_start,
                           spans.clock - wave_start, track=WAVE_TRACK,
                           ops=int(idx.size))
         return BatchResult(results=results, backend=self.name,
-                           waves=n_waves)
+                           waves=n_waves, gen_ops=gen_ops)
 
     @staticmethod
     def _op_gen(structure: ConcurrentMap, batch: OpBatch, i: int,

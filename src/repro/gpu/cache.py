@@ -76,6 +76,31 @@ class L2Cache:
         s[line_addr] = None
         return False
 
+    def access_many(self, line_addrs) -> tuple[int, int]:
+        """Touch a sequence of line addresses in order; returns
+        ``(hits, misses)``.  Classification is exactly the
+        :meth:`access` loop — this entry point just keeps the per-line
+        LRU bookkeeping inside the cache (one Python call per batch
+        instead of one per line)."""
+        hits = 0
+        sets = self._sets
+        num_sets = self.num_sets
+        assoc = self.assoc
+        for la in line_addrs:
+            s = sets[la % num_sets]
+            if la in s:
+                del s[la]
+                s[la] = None
+                hits += 1
+            else:
+                if len(s) >= assoc:
+                    s.pop(next(iter(s)))
+                s[la] = None
+        misses = len(line_addrs) - hits
+        self.stats.hits += hits
+        self.stats.misses += misses
+        return hits, misses
+
     def contains(self, line_addr: int) -> bool:
         """Non-mutating lookup (no stats, no LRU update)."""
         return line_addr in self._set_for(line_addr)

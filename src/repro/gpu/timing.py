@@ -40,6 +40,9 @@ class TimingResult:
     ops: int
     achieved_occupancy: float
     spill_traffic_fraction: float
+    #: Unhideable serialized cycles added on top of the roofline max
+    #: (the runner's lock-contention charge).
+    serialization_cycles: float = 0.0
 
     @property
     def mops(self) -> float:
@@ -52,6 +55,8 @@ class TimingResult:
     @property
     def bottleneck(self) -> str:
         b = max(self.issue_cycles, self.bandwidth_cycles, self.latency_cycles)
+        if self.serialization_cycles > b:
+            return "serialization"
         if b == self.latency_cycles:
             return "latency"
         if b == self.bandwidth_cycles:
@@ -145,4 +150,5 @@ class CostModel:
             ops=ops,
             achieved_occupancy=achieved,
             spill_traffic_fraction=spill_frac,
+            serialization_cycles=extra_serial_cycles,
         )

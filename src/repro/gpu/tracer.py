@@ -133,10 +133,30 @@ class TransactionTracer:
             self.stats.atomic_ops += 1
         return ntrans
 
-    def access_words_batch(self, addrs, n_words: int, *, coalesced: bool,
+    def _tlb_access_many(self, ordered_pages) -> None:
+        """Run page addresses through the TLB LRU in order — the batched
+        equivalent of looping :meth:`_tlb_access`."""
+        tlb = self._tlb
+        entries = self.tlb_entries
+        misses = 0
+        for page in ordered_pages:
+            if page in tlb:
+                del tlb[page]
+                tlb[page] = None
+                continue
+            misses += 1
+            if len(tlb) >= entries:
+                tlb.pop(next(iter(tlb)))
+            tlb[page] = None
+        self.stats.tlb_misses += misses
+
+    def access_words_batch(self, addrs, n_words, *, coalesced: bool,
                            atomic: bool = False) -> int:
         """Record one access of ``n_words`` words for every address in
         ``addrs`` — the batched equivalent of looping :meth:`access_words`.
+        ``n_words`` may be a scalar or an array aligned with ``addrs``
+        (per-access widths, e.g. per-shard head arrays of different
+        heights).
 
         Used by the vectorized batch engine: one wave step issues many
         homogeneous accesses at once.  Classification is identical to the
@@ -156,21 +176,13 @@ class TransactionTracer:
         # repeats within the batch are guaranteed hits.
         pages = addrs // self.tlb_page_words
         uniq_pages, first_idx = np.unique(pages, return_index=True)
-        for page in uniq_pages[np.argsort(first_idx)].tolist():
-            tlb = self._tlb
-            if page in tlb:
-                del tlb[page]
-                tlb[page] = None
-                continue
-            stats.tlb_misses += 1
-            if len(tlb) >= self.tlb_entries:
-                tlb.pop(next(iter(tlb)))
-            tlb[page] = None
+        self._tlb_access_many(uniq_pages[np.argsort(first_idx)].tolist())
 
         # Lines covered by each access (chunk accesses span 1–2 lines).
         wpl = self.words_per_line
+        nw = np.asarray(n_words, dtype=np.int64)
         first = addrs // wpl
-        last = (addrs + (n_words - 1)) // wpl
+        last = (addrs + (nw - 1)) // wpl
         counts = last - first + 1
         total = int(counts.sum())
         if total == m:
@@ -181,12 +193,9 @@ class TransactionTracer:
                                                 counts)
             lines = starts + offs
         uniq_lines, first_idx = np.unique(lines, return_index=True)
-        hits = 0
-        for line in uniq_lines[np.argsort(first_idx)].tolist():
-            if self.l2.access(line):
-                hits += 1
+        hits, misses = self.l2.access_many(
+            uniq_lines[np.argsort(first_idx)].tolist())
         dup_hits = total - int(uniq_lines.size)  # in-batch repeats: hits
-        misses = int(uniq_lines.size) - hits
         stats.transactions += total
         stats.l2_hit_transactions += hits + dup_hits
         stats.dram_transactions += misses
@@ -200,7 +209,8 @@ class TransactionTracer:
             stats.scalar_accesses += m
         if atomic:
             stats.atomic_ops += m
-        stats.bytes_requested += m * n_words * WORD_BYTES
+        stats.bytes_requested += int(nw.sum()) * WORD_BYTES if nw.ndim \
+            else m * int(nw) * WORD_BYTES
         return total
 
     def record_atomic_conflicts(self, n: int) -> None:

@@ -17,7 +17,7 @@ recorded for information, never gated.
 BENCH_*.json schema (``SCHEMA_ID``)::
 
     {
-      "schema": "repro-bench/2",
+      "schema": "repro-bench/3",
       "created_utc": "2026-08-05T12:00:00+00:00",
       "seed": 1234, "n_ops": 400, "team_size": 32,
       "rows": [
@@ -26,7 +26,9 @@ BENCH_*.json schema (``SCHEMA_ID``)::
          "shards": 1,
          "mops": 410.2, "model_seconds": 9.7e-07, "wall_seconds": 0.81,
          "transactions_per_op": 6.1, "l2_hit_rate": 0.93,
-         "bottleneck": "dram", "occupancy": 0.5, "oom": false,
+         "bottleneck": "issue", "occupancy": 0.5, "oom": false,
+         "issue_cycles": 6311.0, "bandwidth_cycles": 1200.4,
+         "latency_cycles": 905.2, "serialization_cycles": 310.7,
          "counters": {"chunk_reads": ..., "lock_spins": ..., ...}},
         ...
       ]
@@ -34,7 +36,12 @@ BENCH_*.json schema (``SCHEMA_ID``)::
 
 Schema v2 adds the ``shards`` row dimension (``repro.shard``
 partitioned builds); v1 files are still comparable — a missing
-``shards`` key reads as 1.
+``shards`` key reads as 1.  Schema v3 adds bottleneck attribution:
+every row carries the cost model's three roofline terms plus the
+analytic serialization charge (all in cycles), and ``bottleneck``
+names whichever binds (``issue``/``bandwidth``/``latency``/
+``serialization``); ``transactions_per_op`` and the cycle terms are
+validated non-null for every non-OOM row.
 """
 
 from __future__ import annotations
@@ -48,7 +55,7 @@ from pathlib import Path
 from .counters import MetricsCollector
 from .spans import SpanTracer, merge_chrome
 
-SCHEMA_ID = "repro-bench/2"
+SCHEMA_ID = "repro-bench/3"
 BENCH_GLOB = "BENCH_*.json"
 _BENCH_RE = re.compile(r"^BENCH_.*\.json$")
 
@@ -61,7 +68,9 @@ DEFAULT_THRESHOLD = 0.20
 
 #: Keys every row must carry (validate_bench enforces presence + type).
 _ROW_NUMBERS = ("key_range", "n_ops", "model_seconds", "wall_seconds",
-                "transactions_per_op", "l2_hit_rate", "occupancy")
+                "transactions_per_op", "l2_hit_rate", "occupancy",
+                "issue_cycles", "bandwidth_cycles", "latency_cycles",
+                "serialization_cycles")
 _ROW_STRINGS = ("structure", "backend", "mixture", "bottleneck")
 
 
@@ -122,6 +131,10 @@ def run_grid(backends, structures, key_ranges=DEFAULT_RANGES,
                             "bottleneck": r.bottleneck,
                             "occupancy": r.occupancy,
                             "oom": r.oom,
+                            "issue_cycles": r.issue_cycles,
+                            "bandwidth_cycles": r.bandwidth_cycles,
+                            "latency_cycles": r.latency_cycles,
+                            "serialization_cycles": r.serialization_cycles,
                             "counters": r.counters or {},
                         })
                         if collect_spans and metrics.spans is not None:
@@ -226,6 +239,33 @@ def compare_bench(new: dict, old: dict,
             "unmatched": unmatched}
 
 
+def shard_bound_warnings(doc: dict) -> list[str]:
+    """One warning line per config whose binding bound differs between
+    the S=1 cell and any S>1 cell of the same (structure, backend,
+    mixture, key_range, n_ops) — shard-scaling anomalies (e.g. sharding
+    cutting tx/op while MOPS stays flat because a different term binds)
+    are then self-diagnosing in ``repro bench`` output."""
+    base: dict[tuple, str] = {}
+    for row in doc.get("rows", []):
+        if row.get("shards", 1) == 1 and not row.get("oom"):
+            base[row_key(row)[:5]] = row.get("bottleneck", "?")
+    warnings: list[str] = []
+    for row in doc.get("rows", []):
+        sh = row.get("shards", 1)
+        if sh == 1 or row.get("oom"):
+            continue
+        cfg = row_key(row)[:5]
+        b1 = base.get(cfg)
+        bS = row.get("bottleneck", "?")
+        if b1 is not None and bS != b1:
+            s, b, m, kr, _n = cfg
+            warnings.append(
+                f"{s}/{b} {m} @{kr:,}: binding bound changes "
+                f"{b1} (S=1) -> {bS} (S={sh}) — shard scaling is "
+                f"shifting the bottleneck, not just tx/op")
+    return warnings
+
+
 # ---------------------------------------------------------------------------
 # Rendering
 # ---------------------------------------------------------------------------
@@ -245,9 +285,9 @@ def render_markdown(doc: dict, comparison: dict | None = None,
                  f"team size {doc.get('team_size', 32)}")
     lines.append("")
     lines.append("| structure | backend | mixture | range | shards | MOPS | "
-                 "trans/op | L2 hit | waves | wall s | "
+                 "trans/op | L2 hit | bound | waves | wall s | "
                  + " | ".join(_MD_COUNTERS) + " |")
-    lines.append("|" + "---|" * (10 + len(_MD_COUNTERS)))
+    lines.append("|" + "---|" * (11 + len(_MD_COUNTERS)))
     for row in doc["rows"]:
         c = row.get("counters", {})
         mops = "OOM" if row.get("mops") is None else f"{row['mops']:.1f}"
@@ -256,6 +296,7 @@ def render_markdown(doc: dict, comparison: dict | None = None,
             f"| {row['key_range']:,} | {row.get('shards', 1)} | {mops} "
             f"| {row['transactions_per_op']:.1f} "
             f"| {row['l2_hit_rate']:.2f} "
+            f"| {row.get('bottleneck', '?')} "
             f"| {c.get('waves', 0)} "
             f"| {row['wall_seconds']:.2f} | "
             + " | ".join(str(c.get(name, 0)) for name in _MD_COUNTERS)

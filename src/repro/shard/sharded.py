@@ -17,8 +17,10 @@ engine's shard-aware hooks:
   round-robined across shards so each wave carries every shard's ops,
 * :meth:`plan_waves` — the vectorized backend's wave plan, built
   per-shard (preserving per-key FIFO) and zipped by wave index,
-* :meth:`vector_contains` / :meth:`vector_search` — multi-key kernels
-  routed shard-wise (only exposed when every shard supports them).
+* :meth:`vector_contains` / :meth:`vector_search` /
+  :meth:`vector_update_wave` — multi-key kernels fused across shards
+  into one lock-step dispatch over the merged index space (only
+  exposed when every shard supports them).
 
 Observability: attaching a :class:`~repro.metrics.counters
 .MetricsCollector` fans out one child collector per shard (core
@@ -96,6 +98,8 @@ class ShardedMap:
             self.vector_contains = self._vector_contains
         if all(hasattr(s, "vector_search") for s in self.shards):
             self.vector_search = self._vector_search
+        if all(hasattr(s, "vector_update_wave") for s in self.shards):
+            self.vector_update_wave = self._vector_update_wave
 
     # -- routing ---------------------------------------------------------
     @property
@@ -218,30 +222,28 @@ class ShardedMap:
         return merge_waves(plans)
 
     def _vector_contains(self, keys, tracer=None) -> np.ndarray:
+        # One fused lock-step dispatch over all shards: every shard's ops
+        # advance together in the merged index space (the shards share
+        # one memory, so only the per-op base offsets differ).
+        from ..core.vector import contains_multi
         keys = np.asarray(keys, dtype=np.int64)
-        out = np.zeros(keys.size, dtype=bool)
-        for s, ix in zip(self.shards,
-                         split_indices(
-                             self.partitioner.shard_of_array(keys),
-                             self.n_shards)):
-            if ix.size:
-                out[ix] = s.vector_contains(keys[ix], tracer=tracer)
-        return out
+        return contains_multi(self.shards,
+                              self.partitioner.shard_of_array(keys),
+                              keys, tracer=tracer)
 
     def _vector_search(self, keys, tracer=None):
+        from ..core.vector import search_multi
         keys = np.asarray(keys, dtype=np.int64)
-        found = np.zeros(keys.size, dtype=bool)
-        width = max((s.layout.max_level for s in self.shards), default=0)
-        paths = np.zeros((keys.size, width), dtype=np.int64)
-        for s, ix in zip(self.shards,
-                         split_indices(
-                             self.partitioner.shard_of_array(keys),
-                             self.n_shards)):
-            if ix.size:
-                f, p = s.vector_search(keys[ix], tracer=tracer)
-                found[ix] = f
-                paths[ix, : p.shape[1]] = p
-        return found, paths
+        return search_multi(self.shards,
+                            self.partitioner.shard_of_array(keys),
+                            keys, tracer=tracer)
+
+    def _vector_update_wave(self, ops, keys, values, tracer=None):
+        from ..core.vector import update_wave
+        keys = np.asarray(keys, dtype=np.int64)
+        return update_wave(self.shards,
+                           self.partitioner.shard_of_array(keys),
+                           ops, keys, values, tracer=tracer)
 
     def execute_batch(self, batch, backend="vectorized"):
         """Replay an :class:`~repro.engine.OpBatch` through a backend

@@ -72,6 +72,13 @@ class RunResult:
     wall_seconds: float = 0.0
     #: MetricsCollector.as_dict() snapshot when a collector was passed.
     counters: dict | None = field(default=None)
+    #: Cost-model attribution: the three roofline terms plus the
+    #: analytic serialization charge (bench schema v3 columns).  The
+    #: binding bound is ``bottleneck``.
+    issue_cycles: float = 0.0
+    bandwidth_cycles: float = 0.0
+    latency_cycles: float = 0.0
+    serialization_cycles: float = 0.0
 
     @staticmethod
     def oom_point(structure: str, team_size: int, key_range: int,
@@ -245,12 +252,18 @@ def run_workload(structure_kind: str, workload: Workload,
         st.metrics = metrics
     t0 = time.perf_counter()
     try:
-        engine.execute(st, OpBatch.from_workload(workload))
+        res = engine.execute(st, OpBatch.from_workload(workload))
     finally:
         wall = time.perf_counter() - t0
         if metrics is not None:
             st.metrics = None
     stats = st.ctx.tracer.stats
+    gen_ops = getattr(res, "gen_ops", None)
+    if gen_ops is not None:
+        # Only ops replayed as per-op generators serialize on locks; the
+        # vectorized backend's batched critical sections are conflict-free
+        # by construction, so they escape the analytic contention charge.
+        extra *= gen_ops / max(1, workload.n_ops)
     timing = st.ctx.cost_model.evaluate(
         stats, occ, ops=workload.n_ops, kernel=kernel,
         extra_serial_cycles=extra)
@@ -270,4 +283,8 @@ def run_workload(structure_kind: str, workload: Workload,
         shards=n_shards if is_sharded else 1,
         wall_seconds=wall,
         counters=metrics.as_dict() if metrics is not None else None,
+        issue_cycles=timing.issue_cycles,
+        bandwidth_cycles=timing.bandwidth_cycles,
+        latency_cycles=timing.latency_cycles,
+        serialization_cycles=timing.serialization_cycles,
     )

@@ -39,8 +39,8 @@ def _unique_key_workload(seed=5, key_range=4_000, n_ops=600) -> Workload:
                     prefill=prefill, ops=ops, keys=keys, values=values)
 
 
-def _execute(kind: str, workload: Workload, backend_name: str):
-    st = make_structure(kind, workload, seed=0)
+def _execute(kind: str, workload: Workload, backend_name: str, **kwargs):
+    st = make_structure(kind, workload, seed=0, **kwargs)
     st.op_stats.reset()
     res = make_backend(backend_name).execute(
         st, OpBatch.from_workload(workload))
@@ -68,6 +68,23 @@ def test_vectorized_matches_sequential_with_duplicates(kind):
     assert len(set(w.keys.tolist())) < w.n_ops   # duplicates present
     seq_results, seq_keys, seq_stats = _execute(kind, w, "sequential")
     vec_results, vec_keys, vec_stats = _execute(kind, w, "vectorized")
+    assert vec_results == seq_results
+    assert vec_keys == seq_keys
+    assert vec_stats == seq_stats
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("kind", available_structures())
+def test_vectorized_matches_sequential_across_shards(kind, shards):
+    """The fused cross-shard vectorized dispatch (batched critical
+    sections included) keeps every shard count op-identical to
+    sequential replay."""
+    w = generate(MIX_10_10_80, key_range=2_048, n_ops=400, seed=13)
+    kwargs = {} if shards == 1 else {"shards": shards}
+    seq_results, seq_keys, seq_stats = _execute(kind, w, "sequential",
+                                                **kwargs)
+    vec_results, vec_keys, vec_stats = _execute(kind, w, "vectorized",
+                                                **kwargs)
     assert vec_results == seq_results
     assert vec_keys == seq_keys
     assert vec_stats == seq_stats
