@@ -31,7 +31,8 @@ from .campaign import (CampaignConfig, CampaignReport, repro_command,
                        run_campaign, shrink_campaign)
 from .faults import FAULT_KINDS, ChaosConfig, FaultInjector
 from .linearize import (HistoryEvent, HistoryRecorder, LinearizabilityReport,
-                        Violation, check_history, check_key_history)
+                        SnapshotObservation, SnapshotViolation, Violation,
+                        check_history, check_key_history)
 from .watchdog import LivelockDetected, StuckOpDiagnostics, Watchdog
 
 __all__ = [
@@ -41,6 +42,8 @@ __all__ = [
     "HistoryEvent",
     "HistoryRecorder",
     "LinearizabilityReport",
+    "SnapshotObservation",
+    "SnapshotViolation",
     "Violation",
     "check_history",
     "check_key_history",

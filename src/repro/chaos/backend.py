@@ -24,23 +24,61 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..engine.backends import BatchResult
+from ..engine.backends import BatchResult, commit_scope
 from ..engine.batch import OP_NAMES, OpBatch
 from ..engine.interface import ConcurrentMap, op_generator
+from ..gpu import events as ev
 from ..gpu.scheduler import InterleavingScheduler
 from ..metrics.spans import WAVE_TRACK
 from .faults import ChaosConfig, FaultInjector
-from .linearize import HistoryRecorder
+from .linearize import HistoryRecorder, SnapshotObservation
 from .watchdog import Watchdog
+
+#: Scheduler steps a snapshot reader holds its pin before the frozen
+#: read — long enough that concurrent writers publish splits/merges
+#: under the pin on every wave of a pressure campaign.
+READER_HOLD_STEPS = 24
+
+
+def _snapshot_reader_gen(structure: ConcurrentMap,
+                         hold: int = READER_HOLD_STEPS):
+    """Device-function generator for one frozen snapshot read.
+
+    Pins an epoch on its first scheduler step, holds the pin across
+    ``hold`` interleaved steps while writers mutate live memory, then
+    reads the frozen cut and releases.  Returns the observed key set —
+    the backend turns it into a
+    :class:`~repro.chaos.linearize.SnapshotObservation` stamped with the
+    task's invocation/response interval.
+    """
+    snap = structure.begin_snapshot()
+    try:
+        for _ in range(hold):
+            yield ev.Compute(1)
+        pairs = snap.items()
+        yield ev.Compute(1)
+    finally:
+        snap.release()
+    return frozenset(k for k, _ in pairs)
 
 
 class ChaosBackend:
     """Interleaved replay with fault injection + history recording.
 
     Parameters mirror ``InterleavedBackend`` (``concurrency``,
-    ``seed``), plus ``config``/``chaos_seed`` for the injector,
-    ``task_step_budget`` for the watchdog, and ``trace`` (campaigns
-    disable cost accounting — correctness runs don't need the tracer).
+    ``seed``, ``commit``), plus ``config``/``chaos_seed`` for the
+    injector, ``task_step_budget`` for the watchdog, ``trace``
+    (campaigns disable cost accounting — correctness runs don't need
+    the tracer), and ``snapshot_readers`` — extra per-wave tasks that
+    pin a frozen snapshot, hold it across writer steps, and record what
+    they saw (DESIGN.md §13).  Reader tasks are excluded from the batch
+    results; their observations land in ``self.snapshots`` for the
+    extended linearizability checker.
+
+    ``snapshot_readers`` requires ``commit="per-op"``: under a batch
+    commit a mid-batch pin deliberately reads the pre-batch cut, which
+    the per-op history checker would (correctly, for its model) flag.
+    Batch-commit atomicity is proven by the engine-level tests instead.
 
     After :meth:`execute`, ``self.recorder`` holds the recorded history
     and ``self.injector`` the fault accounting of the last batch.
@@ -53,15 +91,25 @@ class ChaosBackend:
                  config: ChaosConfig | None = None,
                  chaos_seed: int = 0,
                  task_step_budget: int = 2_000_000,
-                 trace: bool = True):
+                 trace: bool = True,
+                 snapshot_readers: int = 0,
+                 commit: str = "per-op"):
+        if snapshot_readers and commit != "per-op":
+            raise ValueError(
+                "snapshot_readers requires commit='per-op' — a mid-batch "
+                "pin reads the pre-batch cut by design, which the per-op "
+                "checker would flag")
         self.concurrency = concurrency
         self.seed = seed
         self.config = config or ChaosConfig()
         self.chaos_seed = chaos_seed
         self.task_step_budget = task_step_budget
         self.trace = trace
+        self.snapshot_readers = int(snapshot_readers)
+        self.commit = commit
         self.recorder: HistoryRecorder | None = None
         self.injector: FaultInjector | None = None
+        self.snapshots: list[SnapshotObservation] | None = None
 
     def execute(self, structure: ConcurrentMap,
                 batch: OpBatch) -> BatchResult:
@@ -77,6 +125,12 @@ class ChaosBackend:
         labels = {i: f"{OP_NAMES[op]}({key})"
                   for i, (op, key) in enumerate(zip(ops, keys))}
 
+        readers = self.snapshot_readers
+        if readers and not hasattr(structure, "begin_snapshot"):
+            raise ValueError(
+                f"snapshot_readers={readers} but the structure has no "
+                f"begin_snapshot capability (mc has no snapshots)")
+
         injector = FaultInjector(self.config, seed=self.chaos_seed)
         recorder = HistoryRecorder()
         watchdog = Watchdog(stats=structure.op_stats, injector=injector,
@@ -84,6 +138,7 @@ class ChaosBackend:
                             labels=labels)
         self.injector = injector
         self.recorder = recorder
+        self.snapshots = []
 
         tracer = ctx.tracer if self.trace else None
         m = getattr(structure, "metrics", None)
@@ -94,44 +149,58 @@ class ChaosBackend:
         prev_chaos = getattr(structure, "chaos", None)
         structure.chaos = injector
         try:
-            for start in range(0, len(ops), conc):
-                end = min(start + conc, len(ops))
-                # Task ids restart at 0 each wave; relabel accordingly.
-                wave_labels = {j: labels[start + j]
-                               for j in range(end - start)}
-                watchdog.labels = wave_labels
-                # Per-wave seed derivation must match InterleavedBackend
-                # exactly — the zero-fault differential test depends on
-                # identical schedules.
-                wave_seed = None if self.seed is None else self.seed + waves
-                sched = InterleavingScheduler(ctx.mem, tracer,
-                                              seed=wave_seed,
-                                              injector=injector,
-                                              watchdog=watchdog,
-                                              spans=spans,
-                                              span_labels=wave_labels)
-                for i in range(start, end):
-                    sched.spawn(op_generator(structure, ops[i], keys[i],
-                                             values[i]))
-                wave_start = spans.clock if spans is not None else 0
-                wave_results = sched.run()
-                if spans is not None:
-                    spans.add(f"wave {waves}", wave_start,
-                              spans.clock - wave_start, track=WAVE_TRACK,
-                              ops=end - start)
-                if m is not None:
-                    m.waves += 1
-                    m.wave_ops += end - start
-                wave_end = step_base
-                for r in wave_results:
-                    i = start + r.task_id
-                    recorder.record(OP_NAMES[ops[i]], keys[i], r.value,
-                                    step_base + r.start_step,
-                                    step_base + r.end_step)
-                    wave_end = max(wave_end, step_base + r.end_step)
-                results.extend(r.value for r in wave_results)
-                step_base = wave_end + 1
-                waves += 1
+            with commit_scope(structure, self.commit):
+                for start in range(0, len(ops), conc):
+                    end = min(start + conc, len(ops))
+                    n_wave = end - start
+                    # Task ids restart at 0 each wave; relabel accordingly.
+                    wave_labels = {j: labels[start + j]
+                                   for j in range(n_wave)}
+                    for j in range(readers):
+                        wave_labels[n_wave + j] = f"snapshot#{j}"
+                    watchdog.labels = wave_labels
+                    # Per-wave seed derivation must match
+                    # InterleavedBackend exactly — the zero-fault
+                    # differential test depends on identical schedules.
+                    wave_seed = (None if self.seed is None
+                                 else self.seed + waves)
+                    sched = InterleavingScheduler(ctx.mem, tracer,
+                                                  seed=wave_seed,
+                                                  injector=injector,
+                                                  watchdog=watchdog,
+                                                  spans=spans,
+                                                  span_labels=wave_labels)
+                    for i in range(start, end):
+                        sched.spawn(op_generator(structure, ops[i],
+                                                 keys[i], values[i]))
+                    for _ in range(readers):
+                        sched.spawn(_snapshot_reader_gen(structure))
+                    wave_start = spans.clock if spans is not None else 0
+                    wave_results = sched.run()
+                    if spans is not None:
+                        spans.add(f"wave {waves}", wave_start,
+                                  spans.clock - wave_start,
+                                  track=WAVE_TRACK, ops=n_wave)
+                    if m is not None:
+                        m.waves += 1
+                        m.wave_ops += n_wave
+                    wave_end = step_base
+                    for r in wave_results:
+                        if r.task_id >= n_wave:
+                            # Snapshot reader: observation, not an op.
+                            self.snapshots.append(SnapshotObservation(
+                                r.value, step_base + r.start_step,
+                                step_base + r.end_step))
+                        else:
+                            i = start + r.task_id
+                            recorder.record(OP_NAMES[ops[i]], keys[i],
+                                            r.value,
+                                            step_base + r.start_step,
+                                            step_base + r.end_step)
+                            results.append(r.value)
+                        wave_end = max(wave_end, step_base + r.end_step)
+                    step_base = wave_end + 1
+                    waves += 1
         finally:
             structure.chaos = prev_chaos
         return BatchResult(results=results, backend=self.name, waves=waves,

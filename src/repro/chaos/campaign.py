@@ -58,6 +58,8 @@ class CampaignConfig:
     lock_retry_limit: int | None = None        # None = structure default
     restart_limit: int | None = None
     task_step_budget: int = 2_000_000
+    structure: str = "gfsl"                    # registry name, e.g. "gfsl@4"
+    snapshots: int = 0                         # frozen-snapshot readers per wave
 
     def mixture(self) -> Mixture:
         i, d, c = self.mix
@@ -84,9 +86,14 @@ class CampaignReport:
 
     def summary(self) -> str:
         cfg = self.config
+        extras = ""
+        if cfg.structure != "gfsl":
+            extras += f" structure={cfg.structure}"
+        if cfg.snapshots:
+            extras += f" snapshots={cfg.snapshots}"
         head = (f"campaign seed={cfg.seed} ops={self.n_ops} "
                 f"range={cfg.key_range} mix={list(cfg.mix)} "
-                f"conc={cfg.concurrency}: ")
+                f"conc={cfg.concurrency}{extras}: ")
         if self.error is not None:
             return head + f"FAIL — {self.error}"
         lines = [head + ("ok" if self.ok else "FAIL")]
@@ -94,6 +101,8 @@ class CampaignReport:
             lines.append(f"  history: {self.lin.summary()}")
             for v in self.lin.violations[:3]:
                 lines.append("  " + str(v).replace("\n", "\n  "))
+            for sv in self.lin.snapshot_violations[:3]:
+                lines.append("  " + str(sv))
         if self.invariant_error is not None:
             lines.append(f"  invariants: VIOLATED — {self.invariant_error}")
         elif self.invariants is not None:
@@ -119,16 +128,20 @@ def run_campaign(cfg: CampaignConfig) -> CampaignReport:
     report = CampaignReport(config=cfg, n_ops=cfg.n_ops)
     workload = generate(cfg.mixture(), key_range=cfg.key_range,
                         n_ops=cfg.n_ops, seed=cfg.seed)
-    sl: GFSL = make_structure("gfsl", workload, team_size=cfg.team_size,
-                              p_chunk=cfg.p_chunk, seed=cfg.seed)
-    if cfg.lock_retry_limit is not None:
-        sl.lock_retry_limit = cfg.lock_retry_limit
-    if cfg.restart_limit is not None:
-        sl.restart_limit = cfg.restart_limit
+    sl = make_structure(cfg.structure, workload, team_size=cfg.team_size,
+                        p_chunk=cfg.p_chunk, seed=cfg.seed)
+    # A ShardedMap validates per shard; limits apply to each instance.
+    targets: list[GFSL] = getattr(sl, "shards", [sl])
+    for t in targets:
+        if cfg.lock_retry_limit is not None:
+            t.lock_retry_limit = cfg.lock_retry_limit
+        if cfg.restart_limit is not None:
+            t.restart_limit = cfg.restart_limit
     backend = ChaosBackend(concurrency=cfg.concurrency,
                            config=cfg.faults, chaos_seed=cfg.seed,
                            task_step_budget=cfg.task_step_budget,
-                           trace=cfg.trace)
+                           trace=cfg.trace,
+                           snapshot_readers=cfg.snapshots)
     initial = set(int(k) for k in workload.prefill)
     try:
         backend.execute(sl, OpBatch.from_workload(workload))
@@ -143,11 +156,20 @@ def run_campaign(cfg: CampaignConfig) -> CampaignReport:
     if report.error is not None:
         return report
 
-    # Quiesced: check the recorded history and the full structure.
+    # Quiesced: check the recorded history (plus any frozen snapshot
+    # observations) and the full structure — per shard for a ShardedMap.
     final = set(sl.keys())
-    report.lin = check_history(backend.recorder, initial, final)
+    report.lin = check_history(backend.recorder, initial, final,
+                               snapshots=backend.snapshots)
     try:
-        report.invariants = validate_structure(sl)
+        stats: dict = {}
+        for t in targets:
+            for k, v in validate_structure(t).items():
+                if k == "height":
+                    stats[k] = max(stats.get(k, 0), v)
+                else:
+                    stats[k] = stats.get(k, 0) + v
+        report.invariants = stats
     except InvariantViolation as e:
         report.invariant_error = str(e)
     report.ok = report.lin.ok and report.invariant_error is None
@@ -221,6 +243,10 @@ def repro_command(cfg: CampaignConfig) -> str:
              f"--ops {cfg.n_ops}", f"--range {cfg.key_range}",
              f"--mix {i} {d} {c}", f"--team-size {cfg.team_size}",
              f"--concurrency {cfg.concurrency}"]
+    if cfg.structure != "gfsl":
+        parts.append(f"--structure {cfg.structure}")
+    if cfg.snapshots:
+        parts.append(f"--snapshots {cfg.snapshots}")
     active = cfg.faults.active_kinds()
     if not active:
         parts.append("--no-faults")

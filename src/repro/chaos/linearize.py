@@ -27,10 +27,24 @@ A search that still explodes (``MAX_VISITS`` states) falls back to a
 successful deletes must equal the final state — and the report counts
 the key under ``fallback_keys`` so a campaign never silently weakens
 its verdict.
+
+**Snapshot observations** (DESIGN.md §13) are judged against the same
+history: a :class:`SnapshotObservation` records the key set a frozen
+snapshot read returned plus the step interval over which the pin was
+held, and is consistent iff there exists a single instant ``t`` inside
+that interval at which *every* key's presence matches the observation
+under some legal linearization.  The check reuses the per-key engine:
+for each key a pinned pseudo-event ``contains(k, k ∈ S)`` at ``[t, t]``
+(in doubled step coordinates, so midpoints between real stamps are
+representable) is appended to the key's own events and fed through
+:func:`_check_key`; the feasible instants are intersected across keys,
+and an empty intersection is a :class:`SnapshotViolation` — the
+snapshot was not a consistent cut.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 
 #: Per-key state-visit budget before falling back to the net-effect check.
@@ -184,6 +198,20 @@ def _check_key(events: list[HistoryEvent], initial: bool,
         return _net_effect_ok(events, initial, final), True
 
 
+@dataclass(frozen=True)
+class SnapshotObservation:
+    """One frozen snapshot read: the key set it returned and the step
+    interval over which its epoch pin was held.  ``lo``/``hi`` bound the
+    queried window — keys outside it are not judged against this
+    observation (a range read says nothing about them)."""
+
+    keys: frozenset
+    start: int
+    end: int
+    lo: int = 0
+    hi: int = 1 << 32
+
+
 @dataclass
 class Violation:
     """One non-linearizable per-key sub-history."""
@@ -203,6 +231,18 @@ class Violation:
 
 
 @dataclass
+class SnapshotViolation:
+    """A snapshot read with no single consistent instant."""
+
+    snapshot: SnapshotObservation
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"snapshot [{self.snapshot.start}, {self.snapshot.end}] "
+                f"({len(self.snapshot.keys)} keys): {self.detail}")
+
+
+@dataclass
 class LinearizabilityReport:
     """Verdict of one history check."""
 
@@ -211,19 +251,102 @@ class LinearizabilityReport:
     events: int = 0
     violations: list[Violation] = field(default_factory=list)
     fallback_keys: int = 0
+    snapshots_checked: int = 0
+    snapshot_violations: list[SnapshotViolation] = field(
+        default_factory=list)
 
     def summary(self) -> str:
         verdict = "linearizable" if self.ok else (
-            f"NOT linearizable ({len(self.violations)} key(s))")
+            f"NOT linearizable ({len(self.violations)} key(s), "
+            f"{len(self.snapshot_violations)} snapshot(s))")
         note = (f", {self.fallback_keys} key(s) via net-effect fallback"
                 if self.fallback_keys else "")
+        snaps = (f", {self.snapshots_checked} snapshot(s) judged"
+                 if self.snapshots_checked else "")
         return (f"{self.events} events over {self.checked_keys} keys: "
-                f"{verdict}{note}")
+                f"{verdict}{note}{snaps}")
+
+
+def _check_snapshot(obs: SnapshotObservation,
+                    per_key: dict[int, list[HistoryEvent]],
+                    initial: set, final: set) -> str | None:
+    """Judge one snapshot against the recorded history.
+
+    Returns ``None`` if some instant ``t ∈ [obs.start, obs.end]`` exists
+    at which every relevant key's presence can equal ``k ∈ obs.keys``
+    under a legal linearization, else a human-readable reason.  Works in
+    doubled step coordinates so instants *between* real event stamps are
+    representable; candidate instants are the (doubled) event boundaries
+    inside the window ±1 plus the window ends — feasibility of a pinned
+    read only changes at event boundaries, so the finite set is exact.
+    """
+    relevant = {k for k in set(initial) | set(obs.keys) | set(per_key)
+                if obs.lo <= k <= obs.hi}
+    dynamic: list[tuple[int, list[HistoryEvent], bool]] = []
+    for k in sorted(relevant):
+        want = k in obs.keys
+        evs = per_key.get(k, [])
+        if not evs:
+            # No ops ever touched k: presence is constant at prefill.
+            if want != (k in initial):
+                return (f"key {k}: snapshot says {want}, but the key was "
+                        f"never operated on and prefill says "
+                        f"{k in initial}")
+            continue
+        dynamic.append((k, evs, want))
+
+    w0, w1 = 2 * obs.start, 2 * obs.end
+    instants = {w0, w1}
+    for _, evs, _ in dynamic:
+        for e in evs:
+            for b in (2 * e.start, 2 * e.end):
+                for t in (b - 1, b, b + 1):
+                    if w0 <= t <= w1:
+                        instants.add(t)
+    feasible = set(instants)
+
+    for k, evs, want in dynamic:
+        doubled = [HistoryEvent(e.op, e.key, e.result,
+                                2 * e.start, 2 * e.end) for e in evs]
+        # Feasibility of the pinned read depends only on its real-time
+        # position among this key's events — two instants with the same
+        # (events ended before, events starting after) counts give the
+        # same verdict, so memoize on that signature.
+        ends = sorted(e.end for e in doubled)
+        starts = sorted(e.start for e in doubled)
+        memo: dict[tuple[int, int], bool] = {}
+
+        def feasible_at(t: int) -> bool:
+            sig = (bisect_left(ends, t),
+                   len(starts) - bisect_right(starts, t))
+            got = memo.get(sig)
+            if got is None:
+                pinned = HistoryEvent("contains", k, want, t, t)
+                got, _ = _check_key(doubled + [pinned], k in initial,
+                                    k in final)
+                memo[sig] = got
+            return got
+
+        if all(2 * e.end < w0 or 2 * e.start > w1 for e in evs):
+            # No event overlaps the window: the pinned read lands in the
+            # same real-time position for every t, so test once.
+            if not feasible_at(w0):
+                return (f"key {k}: snapshot says {want}, infeasible at "
+                        f"every instant of a quiescent window")
+            continue
+        feasible = {t for t in feasible if feasible_at(t)}
+        if not feasible:
+            return (f"no single instant satisfies all keys "
+                    f"(first emptied at key {k}, snapshot says {want})")
+    return None
 
 
 def check_history(recorder: HistoryRecorder | list[HistoryEvent],
-                  initial_keys, final_keys) -> LinearizabilityReport:
-    """Check a whole recorded history against prefill/final key sets."""
+                  initial_keys, final_keys,
+                  snapshots: list[SnapshotObservation] | None = None,
+                  ) -> LinearizabilityReport:
+    """Check a whole recorded history against prefill/final key sets,
+    plus any frozen snapshot observations taken during it."""
     events = (recorder.events if isinstance(recorder, HistoryRecorder)
               else list(recorder))
     initial = set(int(k) for k in initial_keys)
@@ -246,4 +369,11 @@ def check_history(recorder: HistoryRecorder | list[HistoryEvent],
             report.ok = False
             report.violations.append(
                 Violation(k, evs, k in initial, k in final))
+
+    for obs in snapshots or ():
+        report.snapshots_checked += 1
+        detail = _check_snapshot(obs, per_key, initial, final)
+        if detail is not None:
+            report.ok = False
+            report.snapshot_violations.append(SnapshotViolation(obs, detail))
     return report

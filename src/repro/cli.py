@@ -71,7 +71,8 @@ def cmd_point(args) -> int:
     from .workloads import Mixture, generate, run_workload
     mix = Mixture(args.inserts, args.deletes,
                   100 - args.inserts - args.deletes)
-    w = generate(mix, key_range=args.range, n_ops=args.ops, seed=args.seed)
+    w = generate(mix, key_range=args.range, n_ops=args.ops, seed=args.seed,
+                 distribution=args.distribution, zipf_s=args.zipf_s)
     r = run_workload(args.structure, w, team_size=args.team_size,
                      backend=args.backend, shards=args.shards,
                      partitioner=args.partitioner)
@@ -185,7 +186,9 @@ def cmd_chaos(args) -> int:
     base = CampaignConfig(n_ops=args.ops, key_range=args.range,
                           mix=tuple(args.mix), team_size=args.team_size,
                           p_chunk=args.p_chunk, seed=args.seed,
-                          concurrency=args.concurrency, faults=faults)
+                          concurrency=args.concurrency, faults=faults,
+                          structure=args.structure,
+                          snapshots=args.snapshots)
 
     deadline = (time.monotonic() + args.seconds
                 if args.seconds is not None else None)
@@ -238,7 +241,8 @@ def cmd_bench(args) -> int:
         backends, structures, key_ranges=ranges, mixes=mixes,
         n_ops=args.ops, seed=args.seed, team_size=args.team_size,
         shard_counts=shard_counts,
-        collect_spans=args.trace_out is not None)
+        collect_spans=args.trace_out is not None,
+        distribution=args.distribution, zipf_s=args.zipf_s)
     errors = B.validate_bench(doc)
     if errors:
         for e in errors:
@@ -314,6 +318,13 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--partitioner", choices=("range", "hash"),
                     default="range",
                     help="key-space split for --shards (default: range)")
+    from .workloads.generator import DISTRIBUTIONS
+    pp.add_argument("--distribution", choices=DISTRIBUTIONS,
+                    default="uniform",
+                    help="key distribution (default: uniform, the "
+                    "paper's setting)")
+    pp.add_argument("--zipf-s", type=float, default=1.0,
+                    help="Zipf exponent for --distribution zipf")
     pp.set_defaults(func=cmd_point)
 
     pf = sub.add_parser("figure", help="regenerate a paper figure")
@@ -365,6 +376,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="pure interleaving, no injected faults")
     pc.add_argument("--bug", choices=PLANTED_BUGS, default=None,
                     help="deliberately plant a known bug (checker demo)")
+    pc.add_argument("--structure", default="gfsl",
+                    help="structure registry name, e.g. gfsl or gfsl@4 "
+                    "(a ShardedMap campaign validates per shard)")
+    pc.add_argument("--snapshots", type=int, default=0,
+                    help="frozen snapshot readers per wave; their "
+                    "observations are judged for cut consistency by the "
+                    "extended checker (DESIGN.md §13)")
     pc.add_argument("--no-shrink", dest="shrink", action="store_false",
                     help="skip seed shrinking on failure")
     pc.set_defaults(func=cmd_chaos, shrink=True)
@@ -394,6 +412,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "run the repro.shard partitioned build (default: 1)")
     pb.add_argument("--seed", type=int, default=DEFAULT_SEED)
     pb.add_argument("--team-size", type=int, default=32)
+    pb.add_argument("--distribution", choices=DISTRIBUTIONS,
+                    default="uniform",
+                    help="key distribution for every grid cell "
+                    "(default: uniform)")
+    pb.add_argument("--zipf-s", type=float, default=1.0,
+                    help="Zipf exponent for --distribution zipf")
     pb.add_argument("--out-dir", default="benchmarks/results",
                     help="directory for BENCH_<date>.json")
     pb.add_argument("--baseline", default=None,

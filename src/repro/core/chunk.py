@@ -16,6 +16,8 @@ views (keys, values) the cooperative functions operate on.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from . import constants as C
@@ -124,3 +126,35 @@ def pack_next(max_key: int, ptr: int) -> int:
     """Pack the NEXT entry (max field + next pointer) into one word, so
     split can update both 'with a single atomic write' (Section 4.2.2)."""
     return C.pack_kv(max_key, ptr)
+
+
+# ---------------------------------------------------------------------------
+# Multiversion metadata (snapshot epochs, DESIGN.md §13).
+#
+# A chunk image retired by copy-on-first-write-per-epoch is retained as a
+# ChunkVersion covering the closed epoch interval [first_epoch, last_epoch]
+# during which it was the chunk's live contents.  Readers pinned at epoch E
+# select the version whose interval contains E; writers never see versions
+# at all (the live array is always current).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChunkVersion:
+    """A retired chunk image valid for epochs first_epoch..last_epoch."""
+
+    first_epoch: int
+    last_epoch: int
+    image: np.ndarray        # frozen copy of the chunk's n words
+
+    def covers(self, epoch: int) -> bool:
+        return self.first_epoch <= epoch <= self.last_epoch
+
+
+def select_version(versions, epoch: int):
+    """The retained version covering ``epoch``, or None (live image is
+    current for that epoch).  Versions are kept in ascending epoch order
+    with disjoint intervals, so the first cover wins."""
+    for v in versions:
+        if v.covers(epoch):
+            return v
+    return None

@@ -54,6 +54,7 @@ class OpStats:
     contains_calls: int = 0
     contains_restarts: int = 0
     update_restarts: int = 0
+    range_restarts: int = 0
     splits: int = 0
     merges: int = 0
     zombies_unlinked: int = 0
@@ -135,7 +136,19 @@ class GFSL:
         self.metrics = None
         self.lock_retry_limit = _locks.DEFAULT_LOCK_RETRY_LIMIT
         self.restart_limit = _traversal.DEFAULT_RESTART_LIMIT
+        self._epoch_domain = None
         self._format()
+
+    @property
+    def epoch_domain(self):
+        """This instance's region in the device epoch manager (lazy, so
+        structures that never snapshot never touch the manager)."""
+        if self._epoch_domain is None:
+            lay = self.layout
+            self._epoch_domain = self.ctx.epochs.register(
+                lay.base, lay.chunks_base, self.geo.n,
+                lay.base + lay.total_words)
+        return self._epoch_domain
 
     # ------------------------------------------------------------------
     def _format(self) -> None:
@@ -359,12 +372,18 @@ class GFSL:
         from .vector import update_wave
         return update_wave([self], None, ops, keys, values, tracer=tracer)
 
-    def execute_batch(self, batch, backend="vectorized"):
+    def execute_batch(self, batch, backend="vectorized", commit="per-op"):
         """Replay an :class:`~repro.engine.OpBatch` through a pluggable
-        engine backend; returns its :class:`~repro.engine.BatchResult`."""
+        engine backend; returns its :class:`~repro.engine.BatchResult`.
+
+        ``commit="batch"`` publishes the whole batch atomically at a
+        single epoch bump: a snapshot pinned while the batch runs sees
+        none of it (all-or-nothing, DESIGN.md §13)."""
         from ..engine import make_backend
+        from ..engine.backends import commit_scope
         be = backend if hasattr(backend, "execute") else make_backend(backend)
-        return be.execute(self, batch)
+        with commit_scope(self, commit):
+            return be.execute(self, batch)
 
     def insert_many(self, pairs, seed: int | None = None) -> list[bool]:
         """Run a batch of inserts as one interleaved kernel (extension:
@@ -419,7 +438,17 @@ class GFSL:
     def range_query_gen(self, lo: int, hi: int):
         """All (key, value) pairs with lo ≤ key ≤ hi, lock-free, in order.
         Chunked nodes make this a natural extension: one coalesced read
-        yields up to DSIZE consecutive hits."""
+        yields up to DSIZE consecutive hits.
+
+        This is the *pre-snapshot* path (no isolation across chunks —
+        concurrent updates before/behind the walk front remain visible);
+        the synchronous :meth:`range_query` is rebased onto a snapshot.
+        A concurrent merge zombifying the current chunk restarts the
+        descent from the last returned key (nothing is skipped); a
+        restart that lands on the same frozen chunk again follows its
+        next pointer instead — survivors always migrate right, so the
+        walk still progresses.
+        """
         self._check_key(lo)
         self._check_key(hi)
         out: list[tuple[int, int]] = []
@@ -428,24 +457,84 @@ class GFSL:
         p_curr = yield from _traversal.search_down(self, lo)
         from .chunk import is_zombie, max_field, next_ptr
         ptr = p_curr
+        restarts = 0
+        last_restart_key = None
         while True:
             kvs = yield from _traversal.read_chunk(self, ptr)
-            if not is_zombie(kvs, self.geo):
-                keys = keys_vec(kvs)[: self.geo.dsize]
-                vals = vals_vec(kvs)[: self.geo.dsize]
-                mask = (keys >= lo) & (keys <= hi) & (keys != C.EMPTY_KEY)
-                for i in np.nonzero(mask)[0]:
-                    out.append((int(keys[i]), int(vals[i])))
-                if max_field(kvs, self.geo) > hi:
+            if is_zombie(kvs, self.geo):
+                start_key = lo if not out else min(out[-1][0] + 1,
+                                                   C.MAX_USER_KEY)
+                if start_key != last_restart_key:
+                    last_restart_key = start_key
+                    restarts = _traversal._count_restart(
+                        self, start_key, restarts, "range_query")
+                    self.op_stats.range_restarts += 1
+                    ptr = yield from _traversal.search_down(self, start_key)
+                    continue
+                nxt = next_ptr(kvs, self.geo)
+                if nxt == C.NULL_PTR:
                     return out
+                ptr = nxt
+                continue
+            keys = keys_vec(kvs)[: self.geo.dsize]
+            vals = vals_vec(kvs)[: self.geo.dsize]
+            mask = (keys >= lo) & (keys <= hi) & (keys != C.EMPTY_KEY)
+            idx = np.nonzero(mask)[0]
+            if idx.size:
+                # Merge migration appends survivors unsorted at the end
+                # slots and restarts can revisit collected keys: sort the
+                # hits and keep only strictly new ones.
+                order = np.argsort(keys[idx], kind="stable")
+                last = out[-1][0] if out else lo - 1
+                for i in idx[order]:
+                    k = int(keys[i])
+                    if k > last:
+                        out.append((k, int(vals[i])))
+                        last = k
+            if max_field(kvs, self.geo) > hi:
+                return out
             nxt = next_ptr(kvs, self.geo)
             if nxt == C.NULL_PTR:
                 return out
             ptr = nxt
 
     def range_query(self, lo: int, hi: int) -> list[tuple[int, int]]:
-        """Synchronous inclusive ordered window query."""
-        return self.ctx.run(self.range_query_gen(lo, hi))
+        """Synchronous inclusive ordered window query — consistent by
+        construction: rebased onto a one-shot snapshot epoch, so the
+        result is the frozen state at the instant the query began."""
+        self._check_key(lo)
+        self._check_key(hi)
+        if lo > hi:
+            return []
+        return self.snapshot_range_query(lo, hi)
+
+    # -- snapshots (DESIGN.md §13) ----------------------------------------
+    def begin_snapshot(self):
+        """Pin the current epoch and return a frozen
+        :class:`~repro.core.epoch.GFSLSnapshot` view (release it — or
+        use it as a context manager — to let versions be reclaimed)."""
+        from .epoch import GFSLSnapshot
+        return GFSLSnapshot(self)
+
+    def snapshot_view(self, epoch: int):
+        """A frozen view at an externally pinned epoch — the cross-shard
+        coordinator's hook (:class:`~repro.shard.ShardedMap` pins once
+        on the shared manager and hands the epoch to every shard)."""
+        from .epoch import GFSLSnapshot
+        return GFSLSnapshot(self, epoch=epoch)
+
+    def snapshot_range_query(self, lo: int, hi: int) -> list[tuple[int, int]]:
+        """Inclusive ordered window query over a one-shot snapshot: a
+        consistent cut even while writers run."""
+        self._check_key(lo)
+        self._check_key(hi)
+        with self.begin_snapshot() as snap:
+            return snap.range_query(lo, hi, tracer=self.ctx.tracer)
+
+    def snapshot_items(self) -> list[tuple[int, int]]:
+        """Every (key, value) pair from a one-shot consistent snapshot."""
+        with self.begin_snapshot() as snap:
+            return snap.items(tracer=self.ctx.tracer)
 
     # -- host-side utilities -----------------------------------------------
     def items(self) -> list[tuple[int, int]]:
@@ -473,6 +562,12 @@ class GFSL:
         reclamation scheme the paper leaves as future work (Section 4.1).
         Rebuilds the structure from the live bottom-level items and
         returns the number of chunks reclaimed."""
+        mgr = self.ctx._epochs
+        if mgr is not None and mgr.active_pins:
+            raise RuntimeError(
+                "compact() with live snapshot pins: the rebuild writes "
+                "through raw() and would tear the pinned frozen images — "
+                "release every snapshot first")
         from .bulk import bulk_build_into
         items = self.items()
         before = self.pool.allocated(self.ctx.mem)

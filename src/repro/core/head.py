@@ -22,6 +22,15 @@ keys.  Mutators therefore increment *before* publishing a chunk (splits,
 first key at a level) and decrement *before* releasing the lock that
 serializes repopulation (last-chunk drain) or after the zombie mark
 (merges).
+
+Epoch contract (DESIGN.md §13): the whole head region — every packed
+level word plus the pool counter — is one version *block* of the
+snapshot-epoch manager.  All head mutations go through the
+``GlobalMemory`` mutators, so the write barrier retires the pre-image
+before the first head write of each epoch and a pinned reader resolves
+its bottom-level entry pointer from a frozen head image; head-pointer
+swings off zombie first chunks (``replace_first_chunk``) are therefore
+invisible to snapshots, like every other publication.
 """
 
 from __future__ import annotations

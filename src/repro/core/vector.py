@@ -544,6 +544,16 @@ def update_wave(sls, owner, ops: np.ndarray, keys: np.ndarray,
             # find_and_lock_enclosing line-16 re-validation).
             tracer.access_words_batch(addrs, n, coalesced=True)
             tracer.record_compute(g)
+        # The scatter below bypasses the GlobalMemory mutators, so the
+        # snapshot-epoch write barrier (pre-images for pinned readers)
+        # must be notified explicitly before the wave publishes.
+        mem = sls[0].ctx.mem
+        if mem.write_barrier is not None:
+            for a in addrs.tolist():
+                mem.write_barrier(int(a), n)
+            mgr = sls[0].ctx._epochs
+            if mgr is not None:
+                mgr.note_publish("batch_wave")
         words[addrs[:, None] + np.arange(n, dtype=np.int64)] = \
             np.stack(images)
         if tracer is not None:

@@ -19,11 +19,13 @@ This package never imports :mod:`repro.workloads` (which imports it).
 
 from .backends import (
     BACKEND_NAMES,
+    COMMIT_MODES,
     Backend,
     BatchResult,
     InterleavedBackend,
     SequentialBackend,
     available_backends,
+    commit_scope,
     make_backend,
 )
 from .batch import OP_CONTAINS, OP_DELETE, OP_INSERT, OP_NAMES, OpBatch
@@ -49,6 +51,8 @@ __all__ = [
     "Backend",
     "BatchResult",
     "BACKEND_NAMES",
+    "COMMIT_MODES",
+    "commit_scope",
     "SequentialBackend",
     "InterleavedBackend",
     "VectorizedBackend",

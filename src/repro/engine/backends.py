@@ -25,6 +25,7 @@ differ only in how operations are scheduled:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
@@ -32,6 +33,28 @@ from ..gpu.scheduler import InterleavingScheduler, run_to_completion
 from ..metrics.spans import WAVE_TRACK
 from .batch import OP_NAMES, OpBatch
 from .interface import ConcurrentMap, op_generator
+
+#: Batch publication modes.  ``per-op`` — every op publishes into the
+#: running epoch (the pre-epoch behaviour; zero overhead).  ``batch`` —
+#: the whole batch publishes atomically at one epoch bump: a snapshot
+#: pinned while the batch runs sees none of it (DESIGN.md §13).
+COMMIT_MODES = ("per-op", "batch")
+
+
+def commit_scope(structure, commit: str):
+    """The epoch-publish scope for one batch execution.
+
+    Returns a context manager: a no-op for ``"per-op"``, one atomic
+    commit on the structure's device epoch manager for ``"batch"``.
+    Nestable — ``execute_batch(commit="batch")`` through a backend
+    constructed with ``commit="batch"`` still bumps exactly once.
+    """
+    if commit == "per-op":
+        return nullcontext()
+    if commit == "batch":
+        return structure.ctx.epochs.commit()
+    raise ValueError(f"unknown commit mode {commit!r} "
+                     f"(available: {', '.join(COMMIT_MODES)})")
 
 
 @dataclass
@@ -73,8 +96,16 @@ class SequentialBackend:
 
     name = "sequential"
 
+    def __init__(self, commit: str = "per-op"):
+        self.commit = commit
+
     def execute(self, structure: ConcurrentMap,
                 batch: OpBatch) -> BatchResult:
+        with commit_scope(structure, self.commit):
+            return self._execute(structure, batch)
+
+    def _execute(self, structure: ConcurrentMap,
+                 batch: OpBatch) -> BatchResult:
         ctx = structure.ctx
         results = [
             run_to_completion(op_generator(structure, op, key, value),
@@ -118,12 +149,18 @@ class InterleavedBackend:
     name = "interleaved"
 
     def __init__(self, concurrency: int | None = None,
-                 seed: int | None = None):
+                 seed: int | None = None, commit: str = "per-op"):
         self.concurrency = concurrency
         self.seed = seed
+        self.commit = commit
 
     def execute(self, structure: ConcurrentMap,
                 batch: OpBatch) -> BatchResult:
+        with commit_scope(structure, self.commit):
+            return self._execute(structure, batch)
+
+    def _execute(self, structure: ConcurrentMap,
+                 batch: OpBatch) -> BatchResult:
         ctx = structure.ctx
         conc = self.concurrency
         if conc is None:
@@ -186,7 +223,8 @@ def make_backend(name: str, **kwargs) -> Backend:
 
     Keyword arguments go to the backend constructor (``concurrency`` /
     ``seed`` for interleaved, ``wave_size`` for vectorized,
-    ``config``/``chaos_seed`` for interleaved-chaos).
+    ``config``/``chaos_seed`` for interleaved-chaos; every backend takes
+    ``commit`` — see :data:`COMMIT_MODES`).
     """
     if name == "sequential":
         return SequentialBackend(**kwargs)

@@ -40,7 +40,20 @@ from .batch import OP_CONTAINS, OP_DELETE, OP_INSERT
 
 @runtime_checkable
 class ConcurrentMap(Protocol):
-    """A concurrent ordered map executable by the batch engine."""
+    """A concurrent ordered map executable by the batch engine.
+
+    Optional capabilities are discovered with ``hasattr``, never
+    required: the vectorized kernels (``vector_contains`` /
+    ``vector_search`` / ``vector_update_wave``), shard-aware planning
+    (``batch_order`` / ``plan_waves``), and — since the snapshot-epoch
+    layer (DESIGN.md §13) — consistent snapshots: ``begin_snapshot()``
+    returning a frozen view with ``range_query``/``items``/``release``,
+    ``snapshot_view(epoch)`` for an externally pinned epoch, and the
+    ``snapshot_range_query``/``snapshot_items`` conveniences.  GFSL and
+    :class:`~repro.shard.ShardedMap`-over-GFSL implement snapshots; the
+    M&C baseline does not (readers gate on ``hasattr(structure,
+    "begin_snapshot")``).
+    """
 
     ctx: GPUContext
     op_stats: OpStats

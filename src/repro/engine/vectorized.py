@@ -50,7 +50,7 @@ from ..gpu.memory import GlobalMemory
 from ..gpu.scheduler import execute_event
 from ..gpu.tracer import TransactionTracer
 from ..metrics.spans import WAVE_TRACK
-from .backends import BatchResult
+from .backends import BatchResult, commit_scope
 from .batch import OP_CONTAINS, OP_INSERT, OP_NAMES, OpBatch
 from .interface import ConcurrentMap, op_generator
 
@@ -193,13 +193,20 @@ class VectorizedBackend:
 
     name = "vectorized"
 
-    def __init__(self, wave_size: int = DEFAULT_WAVE_SIZE):
+    def __init__(self, wave_size: int = DEFAULT_WAVE_SIZE,
+                 commit: str = "per-op"):
         if wave_size < 1:
             raise ValueError("wave_size must be >= 1")
         self.wave_size = wave_size
+        self.commit = commit
 
     def execute(self, structure: ConcurrentMap,
                 batch: OpBatch) -> BatchResult:
+        with commit_scope(structure, self.commit):
+            return self._execute(structure, batch)
+
+    def _execute(self, structure: ConcurrentMap,
+                 batch: OpBatch) -> BatchResult:
         ctx = structure.ctx
         results: list[Any] = [None] * len(batch)
         # A structure may bring its own wave planner (ShardedMap plans

@@ -73,6 +73,16 @@ class GPUContext:
         self.tracer = TransactionTracer(self.device)
         self.cost_model = CostModel(self.device)
         self._reserved = 0
+        self._epochs = None
+
+    @property
+    def epochs(self):
+        """The device's snapshot-epoch manager (DESIGN.md §13), created
+        lazily so contexts that never snapshot pay nothing."""
+        if self._epochs is None:
+            from ..core.epoch import EpochManager
+            self._epochs = EpochManager(self.mem)
+        return self._epochs
 
     # -- region allocation ----------------------------------------------
     def reserve(self, num_words: int) -> int:

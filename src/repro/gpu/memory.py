@@ -32,6 +32,11 @@ class GlobalMemory:
         if num_words <= 0:
             raise ValueError("memory size must be positive")
         self._words = np.zeros(num_words, dtype=np.uint64)
+        # Pre-mutation hook ``(addr, n) -> None`` installed by the epoch
+        # manager only while a snapshot pin is live; None (the default and
+        # the steady state) keeps every mutator on the exact pre-epoch
+        # code path — the byte-identity suites depend on that.
+        self.write_barrier = None
 
     # -- introspection -------------------------------------------------
     @property
@@ -56,6 +61,8 @@ class GlobalMemory:
 
     def write_word(self, addr: int, value: int) -> None:
         self._check(addr)
+        if self.write_barrier is not None:
+            self.write_barrier(addr, 1)
         self._words[addr] = np.uint64(value & _MASK64)
 
     def cas_word(self, addr: int, expected: int, new: int) -> int:
@@ -63,6 +70,8 @@ class GlobalMemory:
         self._check(addr)
         old = int(self._words[addr])
         if old == (expected & _MASK64):
+            if self.write_barrier is not None:
+                self.write_barrier(addr, 1)
             self._words[addr] = np.uint64(new & _MASK64)
         return old
 
@@ -70,6 +79,8 @@ class GlobalMemory:
         """Atomic fetch-and-add; returns the old value."""
         self._check(addr)
         old = int(self._words[addr])
+        if self.write_barrier is not None:
+            self.write_barrier(addr, 1)
         self._words[addr] = np.uint64((old + delta) & _MASK64)
         return old
 
@@ -77,6 +88,8 @@ class GlobalMemory:
         """Atomic exchange; returns the old value."""
         self._check(addr)
         old = int(self._words[addr])
+        if self.write_barrier is not None:
+            self.write_barrier(addr, 1)
         self._words[addr] = np.uint64(value & _MASK64)
         return old
 
@@ -93,6 +106,8 @@ class GlobalMemory:
     def write_range(self, addr: int, values: np.ndarray) -> None:
         n = len(values)
         self._check(addr, n)
+        if self.write_barrier is not None:
+            self.write_barrier(addr, n)
         self._words[addr : addr + n] = np.asarray(values, dtype=np.uint64)
 
     # -- bulk (host-side) initialization ----------------------------------

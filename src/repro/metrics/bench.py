@@ -17,13 +17,13 @@ recorded for information, never gated.
 BENCH_*.json schema (``SCHEMA_ID``)::
 
     {
-      "schema": "repro-bench/3",
+      "schema": "repro-bench/4",
       "created_utc": "2026-08-05T12:00:00+00:00",
       "seed": 1234, "n_ops": 400, "team_size": 32,
       "rows": [
         {"structure": "gfsl", "backend": "interleaved",
          "mixture": "[10,10,80]", "key_range": 2048, "n_ops": 400,
-         "shards": 1,
+         "shards": 1, "distribution": "uniform", "gen_fraction": 1.0,
          "mops": 410.2, "model_seconds": 9.7e-07, "wall_seconds": 0.81,
          "transactions_per_op": 6.1, "l2_hit_rate": 0.93,
          "bottleneck": "issue", "occupancy": 0.5, "oom": false,
@@ -41,7 +41,12 @@ every row carries the cost model's three roofline terms plus the
 analytic serialization charge (all in cycles), and ``bottleneck``
 names whichever binds (``issue``/``bandwidth``/``latency``/
 ``serialization``); ``transactions_per_op`` and the cycle terms are
-validated non-null for every non-OOM row.
+validated non-null for every non-OOM row.  Schema v4 adds the
+``distribution`` row dimension (key distribution of the generated
+workload; missing reads as ``"uniform"``, so v3 baselines keep
+matching) and ``gen_fraction`` — the share of the cell's ops the
+backend replayed as per-op generators rather than vectorized waves
+(the fallback residue; 1.0 for generator-only backends).
 """
 
 from __future__ import annotations
@@ -55,7 +60,7 @@ from pathlib import Path
 from .counters import MetricsCollector
 from .spans import SpanTracer, merge_chrome
 
-SCHEMA_ID = "repro-bench/3"
+SCHEMA_ID = "repro-bench/4"
 BENCH_GLOB = "BENCH_*.json"
 _BENCH_RE = re.compile(r"^BENCH_.*\.json$")
 
@@ -70,15 +75,18 @@ DEFAULT_THRESHOLD = 0.20
 _ROW_NUMBERS = ("key_range", "n_ops", "model_seconds", "wall_seconds",
                 "transactions_per_op", "l2_hit_rate", "occupancy",
                 "issue_cycles", "bandwidth_cycles", "latency_cycles",
-                "serialization_cycles")
-_ROW_STRINGS = ("structure", "backend", "mixture", "bottleneck")
+                "serialization_cycles", "gen_fraction")
+_ROW_STRINGS = ("structure", "backend", "mixture", "bottleneck",
+                "distribution")
 
 
 def row_key(row: dict) -> tuple:
     """The identity a row is matched on across BENCH files (``shards``
-    defaults to 1 so schema-v1 rows keep matching)."""
+    defaults to 1 and ``distribution`` to "uniform" so schema-v1/v3
+    rows keep matching)."""
     return (row["structure"], row["backend"], row["mixture"],
-            row["key_range"], row["n_ops"], row.get("shards", 1))
+            row["key_range"], row["n_ops"], row.get("shards", 1),
+            row.get("distribution", "uniform"))
 
 
 # ---------------------------------------------------------------------------
@@ -88,7 +96,8 @@ def row_key(row: dict) -> tuple:
 def run_grid(backends, structures, key_ranges=DEFAULT_RANGES,
              mixes=DEFAULT_MIXES, n_ops: int = DEFAULT_OPS,
              seed: int = DEFAULT_SEED, team_size: int = 32,
-             shard_counts=DEFAULT_SHARDS, collect_spans: bool = False):
+             shard_counts=DEFAULT_SHARDS, collect_spans: bool = False,
+             distribution: str = "uniform", zipf_s: float = 1.0):
     """Execute the grid; returns ``(doc, traces)`` where ``doc`` is the
     BENCH document and ``traces`` maps cell names to
     :class:`SpanTracer` instances (empty unless ``collect_spans``).
@@ -96,7 +105,9 @@ def run_grid(backends, structures, key_ranges=DEFAULT_RANGES,
     ``shard_counts`` adds a shard dimension: each ``S > 1`` cell builds
     a :mod:`repro.shard` partitioned map of S co-located instances;
     ``S = 1`` is the classic single-instance build (identical rows to
-    schema v1)."""
+    schema v1).  ``distribution`` selects the key distribution for
+    every cell's workload (``"uniform"``/``"zipf"``/``"hotspot"``;
+    ``zipf_s`` is the Zipf exponent)."""
     from ..workloads.generator import Mixture, generate
     from ..workloads.runner import run_workload
 
@@ -109,7 +120,9 @@ def run_grid(backends, structures, key_ranges=DEFAULT_RANGES,
                 for key_range in key_ranges:
                     for n_shards in shard_counts:
                         workload = generate(mixture, key_range=key_range,
-                                            n_ops=n_ops, seed=seed)
+                                            n_ops=n_ops, seed=seed,
+                                            distribution=distribution,
+                                            zipf_s=zipf_s)
                         metrics = MetricsCollector(
                             spans=SpanTracer() if collect_spans else None)
                         r = run_workload(
@@ -123,6 +136,9 @@ def run_grid(backends, structures, key_ranges=DEFAULT_RANGES,
                             "key_range": key_range,
                             "n_ops": n_ops,
                             "shards": n_shards,
+                            "distribution": distribution,
+                            "gen_fraction": (0.0 if r.oom else
+                                             r.gen_ops / max(1, r.n_ops)),
                             "mops": None if r.oom else r.mops,
                             "model_seconds": 0.0 if r.oom else r.seconds,
                             "wall_seconds": r.wall_seconds,
@@ -284,19 +300,22 @@ def render_markdown(doc: dict, comparison: dict | None = None,
     lines.append(f"seed {doc['seed']} · {doc['n_ops']} ops/cell · "
                  f"team size {doc.get('team_size', 32)}")
     lines.append("")
-    lines.append("| structure | backend | mixture | range | shards | MOPS | "
-                 "trans/op | L2 hit | bound | waves | wall s | "
+    lines.append("| structure | backend | mixture | range | shards | dist | "
+                 "MOPS | trans/op | L2 hit | bound | gen% | waves | wall s | "
                  + " | ".join(_MD_COUNTERS) + " |")
-    lines.append("|" + "---|" * (11 + len(_MD_COUNTERS)))
+    lines.append("|" + "---|" * (13 + len(_MD_COUNTERS)))
     for row in doc["rows"]:
         c = row.get("counters", {})
         mops = "OOM" if row.get("mops") is None else f"{row['mops']:.1f}"
+        gen = row.get("gen_fraction")
         lines.append(
             f"| {row['structure']} | {row['backend']} | {row['mixture']} "
-            f"| {row['key_range']:,} | {row.get('shards', 1)} | {mops} "
+            f"| {row['key_range']:,} | {row.get('shards', 1)} "
+            f"| {row.get('distribution', 'uniform')} | {mops} "
             f"| {row['transactions_per_op']:.1f} "
             f"| {row['l2_hit_rate']:.2f} "
             f"| {row.get('bottleneck', '?')} "
+            f"| {'?' if gen is None else f'{gen:.0%}'} "
             f"| {c.get('waves', 0)} "
             f"| {row['wall_seconds']:.2f} | "
             + " | ".join(str(c.get(name, 0)) for name in _MD_COUNTERS)
@@ -310,15 +329,17 @@ def render_markdown(doc: dict, comparison: dict | None = None,
             lines.append("")
             lines.append("No regressions.")
         for entry in regs:
-            s, b, m, kr, n, sh = entry["row"]
-            cell = f"{s}/{b}" + (f" x{sh}" if sh != 1 else "")
+            s, b, m, kr, n, sh, dist = entry["row"]
+            cell = (f"{s}/{b}" + (f" x{sh}" if sh != 1 else "")
+                    + (f" {dist}" if dist != "uniform" else ""))
             lines.append(f"- **REGRESSION** {cell} {m} @{kr:,}: "
                          f"{entry['old_mops']:.1f} → "
                          f"{entry['new_mops']:.1f} MOPS "
                          f"({entry['delta']:+.1%})")
         for entry in comparison["improvements"]:
-            s, b, m, kr, n, sh = entry["row"]
-            cell = f"{s}/{b}" + (f" x{sh}" if sh != 1 else "")
+            s, b, m, kr, n, sh, dist = entry["row"]
+            cell = (f"{s}/{b}" + (f" x{sh}" if sh != 1 else "")
+                    + (f" {dist}" if dist != "uniform" else ""))
             lines.append(f"- improvement {cell} {m} @{kr:,}: "
                          f"{entry['old_mops']:.1f} → "
                          f"{entry['new_mops']:.1f} MOPS "

@@ -12,7 +12,7 @@ concurrently under the simulated scheduler.
 from .partition import (PARTITIONERS, HashPartitioner, Partitioner,
                         RangePartitioner, make_partitioner)
 from .router import merge_waves, round_robin_order, split_indices
-from .sharded import ShardedMap, build_sharded
+from .sharded import ShardedMap, ShardedSnapshot, build_sharded
 
 __all__ = [
     "PARTITIONERS",
@@ -20,6 +20,7 @@ __all__ = [
     "Partitioner",
     "RangePartitioner",
     "ShardedMap",
+    "ShardedSnapshot",
     "build_sharded",
     "make_partitioner",
     "merge_waves",

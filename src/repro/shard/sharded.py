@@ -100,6 +100,13 @@ class ShardedMap:
             self.vector_search = self._vector_search
         if all(hasattr(s, "vector_update_wave") for s in self.shards):
             self.vector_update_wave = self._vector_update_wave
+        # Cross-shard snapshots: the shards share one GPUContext, hence
+        # one epoch manager — a single pin is a consistent cut over all
+        # of them (DESIGN.md §13).  Gated like the vector kernels.
+        if all(hasattr(s, "snapshot_view") for s in self.shards):
+            self.begin_snapshot = self._begin_snapshot
+            self.snapshot_range_query = self._snapshot_range_query
+            self.snapshot_items = self._snapshot_items
 
     # -- routing ---------------------------------------------------------
     @property
@@ -176,12 +183,30 @@ class ShardedMap:
     def range_query(self, lo: int, hi: int) -> list[tuple[int, int]]:
         """Inclusive ordered window, merged across shards (a range
         partitioner touches only the shards overlapping the window; hash
-        partitioning scatters the window everywhere)."""
+        partitioning scatters the window everywhere).
+
+        When every shard supports snapshots the merge is rebased onto
+        **one** cross-shard epoch pin, so the window is a single
+        consistent cut rather than S independent per-shard reads."""
+        if hasattr(self, "begin_snapshot"):
+            return self.snapshot_range_query(lo, hi)
         out: list[tuple[int, int]] = []
         for s in self.shards:
             if hasattr(s, "range_query"):
                 out.extend(s.range_query(lo, hi))
         return sorted(out)
+
+    # -- cross-shard snapshots (DESIGN.md §13) ---------------------------
+    def _begin_snapshot(self) -> "ShardedSnapshot":
+        return ShardedSnapshot(self)
+
+    def _snapshot_range_query(self, lo: int, hi: int) -> list[tuple[int, int]]:
+        with self._begin_snapshot() as snap:
+            return snap.range_query(lo, hi, tracer=self.ctx.tracer)
+
+    def _snapshot_items(self) -> list[tuple[int, int]]:
+        with self._begin_snapshot() as snap:
+            return snap.items(tracer=self.ctx.tracer)
 
     def zombie_count(self) -> int:
         return sum(s.zombie_count() for s in self.shards
@@ -245,12 +270,18 @@ class ShardedMap:
                            self.partitioner.shard_of_array(keys),
                            ops, keys, values, tracer=tracer)
 
-    def execute_batch(self, batch, backend="vectorized"):
+    def execute_batch(self, batch, backend="vectorized", commit="per-op"):
         """Replay an :class:`~repro.engine.OpBatch` through a backend
-        (mirrors :meth:`repro.core.GFSL.execute_batch`)."""
+        (mirrors :meth:`repro.core.GFSL.execute_batch`).
+
+        ``commit="batch"`` publishes the whole cross-shard batch at one
+        epoch bump on the shared manager — all-or-nothing over every
+        shard at once."""
         from ..engine import make_backend
+        from ..engine.backends import commit_scope
         be = backend if hasattr(backend, "execute") else make_backend(backend)
-        return be.execute(self, batch)
+        with commit_scope(self, commit):
+            return be.execute(self, batch)
 
     # -- observability fan-out -------------------------------------------
     @property
@@ -283,6 +314,64 @@ class ShardedMap:
         self._chaos = injector
         for s in self.shards:
             s.chaos = injector
+
+
+class ShardedSnapshot:
+    """One consistent cut over every shard of a :class:`ShardedMap`.
+
+    The cross-shard epoch coordinator: all shards live on one shared
+    :class:`~repro.gpu.kernel.GPUContext` (by construction, see
+    :func:`build_sharded`), hence on one
+    :class:`~repro.core.epoch.EpochManager` — so a **single** pin
+    freezes every shard at the same instant.  Each shard contributes a
+    non-owning :class:`~repro.core.epoch.GFSLSnapshot` view at the
+    shared epoch; queries merge the per-shard frozen walks.
+    """
+
+    def __init__(self, sharded: ShardedMap):
+        self.sharded = sharded
+        self._mgr = sharded.ctx.epochs
+        # Register every shard's epoch domain *before* pinning so the
+        # write barrier covers all regions from the first post-pin
+        # mutation (registration is lazy on first use otherwise).
+        for s in sharded.shards:
+            s.epoch_domain
+        self.epoch = self._mgr.pin()
+        self.views = [s.snapshot_view(self.epoch) for s in sharded.shards]
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            for v in self.views:
+                v.release()          # non-owning: the pin is ours
+            self._mgr.unpin(self.epoch)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False
+
+    # -- merged queries --------------------------------------------------
+    def range_query(self, lo: int, hi: int,
+                    tracer=None) -> list[tuple[int, int]]:
+        """All frozen pairs in ``[lo, hi]`` across every shard, sorted
+        — one consistent cut of the whole partitioned key space."""
+        out: list[tuple[int, int]] = []
+        for v in self.views:
+            out.extend(v.range_query(lo, hi, tracer=tracer))
+        return sorted(out)
+
+    def items(self, tracer=None) -> list[tuple[int, int]]:
+        out: list[tuple[int, int]] = []
+        for v in self.views:
+            out.extend(v.items(tracer=tracer))
+        return sorted(out)
+
+    def keys(self, tracer=None) -> list[int]:
+        return [k for k, _ in self.items(tracer=tracer)]
 
 
 # ---------------------------------------------------------------------------

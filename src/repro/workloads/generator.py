@@ -135,6 +135,33 @@ def zipf_keys(rng: np.random.Generator, key_range: int, n: int,
     return perm[ranks]
 
 
+#: Key distributions :func:`generate` accepts (the paper uses uniform).
+DISTRIBUTIONS = ("uniform", "zipf", "hotspot")
+
+#: Hotspot defaults: 90% of operations hit a seeded 10% of the range.
+HOT_FRACTION = 0.1
+HOT_WEIGHT = 0.9
+
+
+def hotspot_keys(rng: np.random.Generator, key_range: int, n: int,
+                 hot_fraction: float = HOT_FRACTION,
+                 hot_weight: float = HOT_WEIGHT) -> np.ndarray:
+    """Hotspot-distributed keys: ``hot_weight`` of the draws land on a
+    seeded-random ``hot_fraction`` of the key space, the rest are
+    uniform over the whole range.
+
+    Like :func:`zipf_keys`, the hot set is a slice of a seeded
+    permutation so it scatters across the structure's chunks instead of
+    clustering in the lowest ones — the contention is on *keys*, not on
+    one end of the list.
+    """
+    n_hot = max(1, int(round(key_range * hot_fraction)))
+    perm = rng.permutation(np.arange(1, key_range + 1, dtype=np.int64))
+    hot_draw = perm[:n_hot][rng.integers(0, n_hot, size=n)]
+    cold_draw = rng.integers(1, key_range + 1, size=n, dtype=np.int64)
+    return np.where(rng.random(n) < hot_weight, hot_draw, cold_draw)
+
+
 def generate(mixture: Mixture, key_range: int, n_ops: int,
              seed: int = 0, distribution: str = "uniform",
              zipf_s: float = 1.0) -> Workload:
@@ -142,8 +169,9 @@ def generate(mixture: Mixture, key_range: int, n_ops: int,
 
     Delete-only workloads draw keys without replacement (the paper sizes
     these runs to the key range so each key is deleted about once).
-    ``distribution`` selects uniform keys (the paper's setting) or
-    ``"zipf"`` skewed keys (extension; see :func:`zipf_keys`).
+    ``distribution`` selects uniform keys (the paper's setting),
+    ``"zipf"`` skewed keys, or ``"hotspot"`` keys (extensions; see
+    :func:`zipf_keys` / :func:`hotspot_keys`).
 
     Every draw — prefill, op codes, keys (all distribution paths), and
     insert payloads, in that order — comes from the single
@@ -154,8 +182,9 @@ def generate(mixture: Mixture, key_range: int, n_ops: int,
     """
     if key_range < 4:
         raise ValueError("key range too small")
-    if distribution not in ("uniform", "zipf"):
-        raise ValueError(f"unknown distribution {distribution!r}")
+    if distribution not in DISTRIBUTIONS:
+        raise ValueError(f"unknown distribution {distribution!r} "
+                         f"(choose from {', '.join(DISTRIBUTIONS)})")
     rng = np.random.default_rng(seed)
     prefill = prefill_for(mixture, key_range, rng)
 
@@ -165,6 +194,8 @@ def generate(mixture: Mixture, key_range: int, n_ops: int,
                               dtype=np.int64), size=n_ops, p=p)
     if distribution == "zipf":
         keys = zipf_keys(rng, key_range, n_ops, s=zipf_s)
+    elif distribution == "hotspot":
+        keys = hotspot_keys(rng, key_range, n_ops)
     elif mixture.kind == "delete-only" and n_ops <= key_range:
         keys = rng.permutation(np.arange(1, key_range + 1,
                                          dtype=np.int64))[:n_ops]

@@ -72,6 +72,10 @@ class RunResult:
     wall_seconds: float = 0.0
     #: MetricsCollector.as_dict() snapshot when a collector was passed.
     counters: dict | None = field(default=None)
+    #: Ops the backend replayed as per-op generators (the vectorized
+    #: backend's fallback residue; equals ``n_ops`` for generator-only
+    #: backends).  ``gen_ops / n_ops`` is the bench report's "gen%".
+    gen_ops: int = 0
     #: Cost-model attribution: the three roofline terms plus the
     #: analytic serialization charge (bench schema v3 columns).  The
     #: binding bound is ``bottleneck``.
@@ -283,6 +287,7 @@ def run_workload(structure_kind: str, workload: Workload,
         shards=n_shards if is_sharded else 1,
         wall_seconds=wall,
         counters=metrics.as_dict() if metrics is not None else None,
+        gen_ops=workload.n_ops if gen_ops is None else int(gen_ops),
         issue_cycles=timing.issue_cycles,
         bandwidth_cycles=timing.bandwidth_cycles,
         latency_cycles=timing.latency_cycles,

@@ -1,0 +1,108 @@
+"""Atomic batch commits through the engine backends (DESIGN.md §13).
+
+``commit="batch"`` must publish a whole :class:`OpBatch` at one epoch
+bump on every backend: a snapshot pinned while the batch runs sees none
+of it (all-or-nothing), a snapshot pinned after sees all of it — and
+the scope must nest (backend-level + call-level = one bump).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GFSL
+from repro.engine import OpBatch, make_backend
+from repro.engine.backends import COMMIT_MODES, commit_scope
+from repro.engine.batch import OP_DELETE, OP_INSERT
+
+BACKENDS = ("sequential", "interleaved", "vectorized")
+
+
+def fresh(seed=1):
+    sl = GFSL(capacity_chunks=512, team_size=8, seed=seed)
+    for k in range(10, 200, 10):
+        sl.insert(k, value=k)
+    return sl
+
+
+def mixed_batch():
+    """Inserts of fresh keys plus deletes of prefilled ones — both op
+    kinds must flip atomically."""
+    ins = [(k, k * 7) for k in range(201, 231)]
+    dels = [10, 20, 30]
+    ops = np.array([OP_INSERT] * len(ins) + [OP_DELETE] * len(dels))
+    keys = np.array([k for k, _ in ins] + dels)
+    vals = np.array([v for _, v in ins] + [0] * len(dels))
+    return OpBatch(ops=ops, keys=keys, values=vals)
+
+
+class TestCommitScope:
+    def test_unknown_mode_rejected(self):
+        sl = fresh()
+        with pytest.raises(ValueError, match="commit mode"):
+            commit_scope(sl, "transactional")
+        assert COMMIT_MODES == ("per-op", "batch")
+
+    def test_per_op_scope_never_touches_epochs(self):
+        sl = fresh()
+        with commit_scope(sl, "per-op"):
+            sl.insert(999)
+        assert sl.ctx._epochs is None
+
+
+class TestBatchAtomicity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mid_commit_snapshot_sees_nothing(self, backend):
+        sl = fresh()
+        pre = sl.items()
+        batch = mixed_batch()
+        mgr = sl.ctx.epochs
+        with mgr.commit():
+            snap = sl.begin_snapshot()      # pinned inside the commit
+            sl.execute_batch(batch, backend=backend, commit="batch")
+            assert snap.items() == pre      # none of the batch visible
+        try:
+            # Still the pre-batch cut even after the commit published.
+            assert snap.items() == pre
+        finally:
+            snap.release()
+        post = dict(sl.items())
+        assert all(post.get(k) == k * 7 for k in range(201, 231))
+        assert all(k not in post for k in (10, 20, 30))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_post_commit_snapshot_sees_everything(self, backend):
+        sl = fresh()
+        sl.execute_batch(mixed_batch(), backend=backend, commit="batch")
+        with sl.begin_snapshot() as snap:
+            got = dict(snap.items())
+        assert all(got.get(k) == k * 7 for k in range(201, 231))
+        assert all(k not in got for k in (10, 20, 30))
+
+    def test_backend_commit_param_nests_to_one_bump(self):
+        """A batch-committing backend inside ``execute_batch(...,
+        commit="batch")`` bumps the epoch exactly once."""
+        sl = fresh()
+        mgr = sl.ctx.epochs
+        before = mgr.epoch
+        be = make_backend("vectorized", commit="batch")
+        sl.execute_batch(mixed_batch(), backend=be, commit="batch")
+        assert mgr.epoch == before + 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_result_matches_per_op_replay(self, backend):
+        """Commit mode changes publication granularity, never results."""
+        batch = mixed_batch()
+        a = fresh(seed=5).execute_batch(batch, backend=backend,
+                                        commit="per-op")
+        b = fresh(seed=5).execute_batch(batch, backend=backend,
+                                        commit="batch")
+        assert list(a.results) == list(b.results)
+
+    def test_commit_reclaims_when_unpinned(self):
+        sl = fresh()
+        mgr = sl.ctx.epochs
+        sl.execute_batch(mixed_batch(), backend="vectorized",
+                         commit="batch")
+        assert mgr.active_pins == 0
+        assert not mgr._versions and not mgr._last_mod
+        assert sl.ctx.mem.write_barrier is None

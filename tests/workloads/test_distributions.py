@@ -1,0 +1,80 @@
+"""Key-popularity distributions for workload generation.
+
+``--distribution zipf|hotspot`` skews the op key stream while leaving
+the prefill and the op mixture untouched — and must not perturb the
+draw order of anything the uniform path already generates (seeded
+back-compat)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import DISTRIBUTIONS, MIX_10_10_80, generate
+from repro.workloads.generator import (HOT_FRACTION, HOT_WEIGHT,
+                                       hotspot_keys)
+
+
+class TestHotspot:
+    def test_hot_set_concentration(self):
+        wl = generate(MIX_10_10_80, key_range=10_000, n_ops=20_000,
+                      seed=3, distribution="hotspot")
+        keys, counts = np.unique(wl.keys, return_counts=True)
+        order = np.argsort(counts)[::-1]
+        n_hot = int(round(10_000 * HOT_FRACTION))
+        hot_mass = counts[order][:n_hot].sum() / counts.sum()
+        # 90% of ops to 10% of keys (plus the uniform 10% leaking in).
+        assert hot_mass > HOT_WEIGHT - 0.05
+        assert (keys >= 1).all() and (keys <= 10_000).all()
+
+    def test_hot_set_is_a_seeded_permutation(self):
+        """Different seeds pick different hot keys (the hot set is not
+        always the smallest keys)."""
+        rng = np.random.default_rng(0)
+        a = hotspot_keys(np.random.default_rng(1), 1000, 5000)
+        b = hotspot_keys(np.random.default_rng(2), 1000, 5000)
+        top = lambda d: set(np.unique(d, return_counts=True)[0][  # noqa: E731
+            np.argsort(np.unique(d, return_counts=True)[1])[::-1][:20]])
+        assert top(a) != top(b)
+        assert (hotspot_keys(rng, 100, 10) >= 1).all()
+
+    def test_deterministic_per_seed(self):
+        a = generate(MIX_10_10_80, key_range=500, n_ops=2000, seed=9,
+                     distribution="hotspot")
+        b = generate(MIX_10_10_80, key_range=500, n_ops=2000, seed=9,
+                     distribution="hotspot")
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.ops, b.ops)
+        assert np.array_equal(a.prefill, b.prefill)
+
+
+class TestZipf:
+    def test_zipf_skews_toward_small_ranks(self):
+        wl = generate(MIX_10_10_80, key_range=10_000, n_ops=20_000,
+                      seed=3, distribution="zipf", zipf_s=1.2)
+        _, counts = np.unique(wl.keys, return_counts=True)
+        top = np.sort(counts)[::-1]
+        assert top[:100].sum() > 0.3 * counts.sum()
+
+
+class TestBackCompat:
+    def test_distribution_choice_leaves_prefill_and_ops_alone(self):
+        """Prefill and op mixture are drawn before the key stream, so
+        every distribution shares them at a given seed."""
+        base = generate(MIX_10_10_80, key_range=1000, n_ops=4000, seed=5)
+        for dist in DISTRIBUTIONS[1:]:
+            wl = generate(MIX_10_10_80, key_range=1000, n_ops=4000,
+                          seed=5, distribution=dist)
+            assert np.array_equal(wl.prefill, base.prefill), dist
+            assert np.array_equal(wl.ops, base.ops), dist
+            assert not np.array_equal(wl.keys, base.keys), dist
+
+    def test_uniform_is_the_default(self):
+        a = generate(MIX_10_10_80, key_range=1000, n_ops=1000, seed=5)
+        b = generate(MIX_10_10_80, key_range=1000, n_ops=1000, seed=5,
+                     distribution="uniform")
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError, match="distribution"):
+            generate(MIX_10_10_80, key_range=100, n_ops=10, seed=0,
+                     distribution="pareto")
+        assert DISTRIBUTIONS == ("uniform", "zipf", "hotspot")
