@@ -24,12 +24,22 @@ and *detectable*:
 * :mod:`~repro.chaos.campaign` — seeded adversarial campaigns
   (``python -m repro chaos``) and a shrinker that reduces a failing
   seed to a minimal reproducing configuration.
+* :mod:`~repro.chaos.retry` — the shared seeded
+  :class:`~repro.chaos.retry.RetryPolicy` (bounded attempts,
+  exponential backoff + jitter) behind both the core lock-retry bound
+  and the serve frontend's flush retries.
+* :mod:`~repro.chaos.serve_faults` — serve-level fault kinds (request
+  bursts, stalled clients, frozen shards) for :mod:`repro.serve`
+  overload campaigns.
 """
 
 from .backend import ChaosBackend
 from .campaign import (CampaignConfig, CampaignReport, repro_command,
                        run_campaign, shrink_campaign)
 from .faults import FAULT_KINDS, ChaosConfig, FaultInjector
+from .retry import RetryPolicy
+from .serve_faults import (SERVE_FAULT_KINDS, ServeChaosConfig,
+                           ServeFaultInjector, ShardFrozen)
 from .linearize import (HistoryEvent, HistoryRecorder, LinearizabilityReport,
                         SnapshotObservation, SnapshotViolation, Violation,
                         check_history, check_key_history)
@@ -39,6 +49,11 @@ __all__ = [
     "FAULT_KINDS",
     "ChaosConfig",
     "FaultInjector",
+    "RetryPolicy",
+    "SERVE_FAULT_KINDS",
+    "ServeChaosConfig",
+    "ServeFaultInjector",
+    "ShardFrozen",
     "HistoryEvent",
     "HistoryRecorder",
     "LinearizabilityReport",

@@ -1,0 +1,104 @@
+"""Seeded bounded-retry policy shared by the core lock path and the
+serving frontend.
+
+Every retry loop in the repo bounds its attempts and accounts for them
+(the chaos watchdog turns an unbounded spin into a diagnosable
+:class:`~repro.chaos.watchdog.LivelockDetected`).  This module is the
+one place that policy lives:
+
+* :meth:`RetryPolicy.bounded` — a pure attempt bound with no backoff,
+  the shape the lock-acquisition loops in :mod:`repro.core.locks` use
+  (a spinning GPU team cannot sleep; it just re-reads the chunk).
+* A full policy with seeded exponential backoff + jitter — the shape
+  the :mod:`repro.serve` frontend uses between flush attempts, where
+  backing off *is* possible (the virtual event loop sleeps in steps).
+
+The jitter RNG is seeded, so a campaign that retries is exactly as
+reproducible as one that does not.  ``is_retryable`` classifies
+exceptions: by default the typed faults the chaos layer can surface
+mid-flush (:class:`~repro.core.locks.LockTimeout`,
+:class:`~repro.core.traversal.RestartStorm`,
+:class:`~repro.chaos.watchdog.LivelockDetected`) are retryable and
+everything else — invariant violations, programming errors — is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Attempt bound used when none is given (mirrors the historic
+#: ``DEFAULT_LOCK_RETRY_LIMIT`` scale: far above a fair scheduler).
+DEFAULT_MAX_ATTEMPTS = 1_000_000
+
+
+def default_retryable() -> tuple:
+    """The typed transient faults worth another attempt (lazy import —
+    :mod:`repro.core.locks` itself delegates to this module)."""
+    from ..core.locks import LockTimeout
+    from ..core.traversal import RestartStorm
+    from .watchdog import LivelockDetected
+    return (LockTimeout, RestartStorm, LivelockDetected)
+
+
+class RetryPolicy:
+    """Bounded retries with seeded exponential backoff + jitter.
+
+    ``max_attempts`` bounds the total number of attempts; ``allows(n)``
+    answers whether attempt ``n + 1`` may run after ``n`` failures.
+    ``backoff_steps(n)`` is the (virtual-time) pause before that next
+    attempt: ``base_steps * multiplier**(n-1)``, capped at
+    ``max_steps``, scattered by ``±jitter`` (fractional) from the
+    seeded RNG.  With ``base_steps == 0`` the policy never draws from
+    the RNG — a pure attempt bound (:meth:`bounded`).
+    """
+
+    def __init__(self, max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 base_steps: int = 0, multiplier: float = 2.0,
+                 max_steps: int = 4096, jitter: float = 0.5,
+                 retryable=None, seed: int = 0):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.max_attempts = int(max_attempts)
+        self.base_steps = int(base_steps)
+        self.multiplier = float(multiplier)
+        self.max_steps = int(max_steps)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self._retryable = retryable
+        self._rng = np.random.default_rng(seed)
+
+    @classmethod
+    def bounded(cls, max_attempts: int) -> "RetryPolicy":
+        """A pure attempt bound: no backoff, no RNG draws — the lock
+        spin loops' shape (they re-read instead of sleeping)."""
+        return cls(max_attempts=max_attempts, base_steps=0, jitter=0.0)
+
+    def allows(self, attempts: int) -> bool:
+        """May another attempt run after ``attempts`` failures?"""
+        return attempts < self.max_attempts
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        kinds = self._retryable
+        if kinds is None:
+            kinds = self._retryable = default_retryable()
+        if callable(kinds) and not isinstance(kinds, (tuple, type)):
+            return bool(kinds(exc))
+        return isinstance(exc, kinds)
+
+    def backoff_steps(self, attempts: int) -> int:
+        """Virtual-time pause before the attempt following ``attempts``
+        failures (0 for a no-backoff policy)."""
+        if self.base_steps <= 0:
+            return 0
+        steps = self.base_steps * self.multiplier ** max(0, attempts - 1)
+        steps = min(float(self.max_steps), steps)
+        if self.jitter > 0.0:
+            spread = self.jitter * (2.0 * float(self._rng.random()) - 1.0)
+            steps *= 1.0 + spread
+        return max(1, int(round(steps)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RetryPolicy(max_attempts={self.max_attempts}, "
+                f"base_steps={self.base_steps}, seed={self.seed})")

@@ -1,0 +1,98 @@
+"""Serve-level fault kinds: overload and partial-failure scenarios for
+the :mod:`repro.serve` frontend.
+
+The core :class:`~repro.chaos.faults.FaultInjector` perturbs *device*
+schedules; this module perturbs the *request path* above it:
+
+* ``request_burst`` — seeded burst waves stacked on top of the Poisson
+  arrival process (the load generator folds them into its plan), so the
+  admission ladder sees step-function overload, not just a high mean.
+* ``stalled_client`` — chosen clients stop draining their delivery
+  queues mid-run (and keep submitting), exercising slow-client
+  isolation.
+* ``frozen_shard`` — a shard refuses all flushes during a step window.
+  The injection point is the **dispatch boundary**: the fault raises
+  *before* any device work, so a frozen flush has zero partial effects
+  and batch-level retries stay linearizable by construction.  The
+  raised :class:`ShardFrozen` subclasses
+  :class:`~repro.core.locks.LockTimeout`, so the shared
+  :class:`~repro.chaos.retry.RetryPolicy` classifies it retryable
+  without special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.locks import LockTimeout
+
+SERVE_FAULT_KINDS = ("request_burst", "stalled_client", "frozen_shard")
+
+
+class ShardFrozen(LockTimeout):
+    """A flush hit a chaos-frozen shard (raised before dispatch, so the
+    batch had no effect).  Retryable like any lock timeout."""
+
+    def __init__(self, shard: int, now: int):
+        self.shard = int(shard)
+        self.chunk = -1
+        self.attempts = 0
+        self.owner = None
+        RuntimeError.__init__(
+            self, f"shard {shard} frozen by chaos injection at step {now}")
+
+
+@dataclass(frozen=True)
+class ServeChaosConfig:
+    """Seeded serve-level fault plan.
+
+    ``bursts``/``burst_size`` add that many extra-request waves at
+    seeded steps inside the load horizon; ``stalled_clients`` picks
+    that many clients to stop consuming at a seeded point;
+    ``freeze_shard``/``freeze_at``/``freeze_steps`` freeze one shard
+    for a window (``frozen_windows`` lists extra explicit
+    ``(shard, start, steps)`` windows)."""
+
+    bursts: int = 0
+    burst_size: int = 32
+    stalled_clients: int = 0
+    freeze_shard: int | None = None
+    freeze_at: int = 0
+    freeze_steps: int = 0
+    frozen_windows: tuple = ()
+    seed: int = 0
+
+    def windows(self) -> list[tuple[int, int, int]]:
+        out = [(int(s), int(a), int(n)) for s, a, n in self.frozen_windows]
+        if self.freeze_shard is not None and self.freeze_steps > 0:
+            out.append((int(self.freeze_shard), int(self.freeze_at),
+                        int(self.freeze_steps)))
+        return out
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(self.bursts or self.stalled_clients or self.windows())
+
+
+@dataclass
+class ServeFaultInjector:
+    """Runtime side of :class:`ServeChaosConfig`: the frozen-shard
+    predicate the frontend consults at each flush, plus hit counters
+    (deterministic — queried at deterministic virtual instants)."""
+
+    config: ServeChaosConfig
+    counts: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self._windows = self.config.windows()
+        self.counts = {kind: 0 for kind in SERVE_FAULT_KINDS}
+
+    def frozen(self, shard: int, now: int) -> bool:
+        for s, start, steps in self._windows:
+            if s == shard and start <= now < start + steps:
+                self.counts["frozen_shard"] += 1
+                return True
+        return False
+
+    def note(self, kind: str, n: int = 1) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + n

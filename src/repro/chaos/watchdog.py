@@ -17,6 +17,12 @@ when either
 
 Budgets default high enough that healthy chaos campaigns (stalls slow
 tasks down by design) never trip them.
+
+The retry *bounds* the accounting observes live in
+:mod:`~repro.chaos.retry`: :class:`~repro.chaos.retry.RetryPolicy` is
+the one shared implementation — ``RetryPolicy.bounded`` backs the core
+lock-retry limit, and the full seeded backoff+jitter shape backs the
+serve frontend's flush retries.
 """
 
 from __future__ import annotations

@@ -23,6 +23,16 @@ Commands
     ``BENCH_<date>.json`` + a markdown summary and comparing against the
     previous BENCH file with a regression threshold (the standing
     performance gate; see DESIGN.md §10).
+``serve-bench``
+    Seeded overload campaign through the async serving frontend
+    (coalescing, admission control, deadlines, circuit breakers) with
+    chaos faults, gating on zero hung requests + a linearizable
+    history, and emitting p50/p99 request latency (DESIGN.md §14).
+
+Typed errors (``Overloaded``, ``LockTimeout``, ``OutOfChunks``) are
+reported as a one-line message on stderr with a distinct exit code —
+4, 5, and 6 respectively — instead of a traceback; generic command
+failures keep exit codes 1 (gate failure) and 2 (usage/schema).
 """
 
 from __future__ import annotations
@@ -288,6 +298,73 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    """Seeded serve campaign: overload + chaos through the frontend.
+
+    Exit codes: 0 OK, 1 gate failure (hang / unresolved request /
+    non-linearizable history / p99 bound exceeded), 2 usage error.
+    """
+    import json
+    from pathlib import Path
+
+    from .chaos import ServeChaosConfig
+    from .serve import (LoadConfig, ServeCampaignConfig, latency_histogram,
+                        merge_serve_row, run_serve_campaign,
+                        serve_bench_row)
+
+    if len(args.mix) != 4 or sum(args.mix) != 100:
+        print("serve-bench: --mix needs 4 percentages (put delete get "
+              "range) summing to 100", file=sys.stderr)
+        return 2
+    load = LoadConfig(
+        n_requests=args.requests, n_clients=args.clients,
+        key_range=args.range, mix=tuple(args.mix), rate=args.rate,
+        deadline_steps=args.deadline_steps,
+        distribution=args.distribution, zipf_s=args.zipf_s,
+        seed=args.seed)
+    chaos = ServeChaosConfig(
+        bursts=args.bursts, burst_size=args.burst_size,
+        stalled_clients=args.stalled_clients,
+        freeze_shard=args.freeze_shard, freeze_at=args.freeze_at,
+        freeze_steps=args.freeze_steps, seed=args.seed)
+    cfg = ServeCampaignConfig(
+        structure=args.structure, team_size=args.team_size,
+        backend=args.backend, load=load,
+        chaos=chaos if chaos.any_faults else None,
+        coalesce_size=args.coalesce_size,
+        coalesce_steps=args.coalesce_steps,
+        queue_depth=args.queue_depth,
+        admit_rate=args.admit_rate if args.admit_rate > 0 else None,
+        admit_burst=args.admit_burst,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_steps=args.breaker_reset_steps,
+        retry_attempts=args.retries, check=not args.no_check)
+
+    report = run_serve_campaign(cfg)
+    print(report.summary())
+
+    if args.hist_out is not None:
+        hist = latency_histogram(report.stats)
+        Path(args.hist_out).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.hist_out, "w") as fh:
+            json.dump(hist, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {args.hist_out}")
+    if args.bench_out is not None:
+        row = serve_bench_row(cfg, report)
+        merge_serve_row(row, args.bench_out)
+        print(f"wrote serve row into {args.bench_out}")
+
+    if not report.ok:
+        return 1
+    if args.max_p99 is not None and report.p99_us is not None \
+            and report.p99_us > args.max_p99:
+        print(f"serve-bench: p99 {report.p99_us:.0f}us exceeds the "
+              f"--max-p99 bound of {args.max_p99:.0f}us", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Assemble the ``repro`` argument parser."""
     p = argparse.ArgumentParser(
@@ -434,13 +511,98 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--markdown", default=None,
                     help="also write the markdown summary to this file")
     pb.set_defaults(func=cmd_bench)
+
+    pv = sub.add_parser(
+        "serve-bench", help="seeded overload campaign through the async "
+        "serving frontend (exits 1 on a hung request, non-linearizable "
+        "history, or busted p99 bound)")
+    pv.add_argument("--structure", default="gfsl@4",
+                    help="structure registry name (default: gfsl@4)")
+    pv.add_argument("--backend", choices=available_backends(),
+                    default="vectorized")
+    pv.add_argument("--requests", type=int, default=4000,
+                    help="base Poisson request count")
+    pv.add_argument("--clients", type=int, default=32)
+    pv.add_argument("--range", type=int, default=2048)
+    pv.add_argument("--mix", type=int, nargs=4, default=[25, 10, 60, 5],
+                    metavar=("PUT", "DEL", "GET", "RANGE"),
+                    help="request-kind percentages (default 25 10 60 5)")
+    pv.add_argument("--rate", type=float, default=2400.0,
+                    help="offered arrival rate, requests per 1000 steps "
+                    "(default 2400 — ~2.4x the sustainable gfsl@4 rate)")
+    pv.add_argument("--deadline-steps", type=int, default=3000,
+                    help="per-request deadline horizon in steps")
+    pv.add_argument("--distribution", choices=DISTRIBUTIONS,
+                    default="zipf",
+                    help="key distribution (default: zipf — skewed, "
+                    "the overload-relevant case)")
+    pv.add_argument("--zipf-s", type=float, default=1.0)
+    pv.add_argument("--seed", type=int, default=0)
+    pv.add_argument("--team-size", type=int, default=32)
+    pv.add_argument("--coalesce-size", type=int, default=32,
+                    help="flush a shard batch at this many requests")
+    pv.add_argument("--coalesce-steps", type=int, default=150,
+                    help="...or after this many steps, whichever first")
+    pv.add_argument("--queue-depth", type=int, default=128)
+    pv.add_argument("--admit-rate", type=float, default=600.0,
+                    help="token-bucket admission rate per 1000 steps "
+                    "(0 disables admission control)")
+    pv.add_argument("--admit-burst", type=float, default=64.0)
+    pv.add_argument("--breaker-threshold", type=int, default=3)
+    pv.add_argument("--breaker-reset-steps", type=int, default=400)
+    pv.add_argument("--retries", type=int, default=4,
+                    help="max flush attempts per batch")
+    pv.add_argument("--bursts", type=int, default=0,
+                    help="chaos: request-burst waves")
+    pv.add_argument("--burst-size", type=int, default=64)
+    pv.add_argument("--stalled-clients", type=int, default=0,
+                    help="chaos: clients that stop consuming mid-run")
+    pv.add_argument("--freeze-shard", type=int, default=None,
+                    help="chaos: freeze this shard for a window")
+    pv.add_argument("--freeze-at", type=int, default=400)
+    pv.add_argument("--freeze-steps", type=int, default=600)
+    pv.add_argument("--max-p99", type=float, default=None,
+                    help="gate: fail if admitted point-op p99 (µs) "
+                    "exceeds this")
+    pv.add_argument("--no-check", action="store_true",
+                    help="skip the linearizability/invariant audit")
+    pv.add_argument("--hist-out", default=None,
+                    help="write the latency histogram JSON here")
+    pv.add_argument("--bench-out", default=None,
+                    help="write/merge a schema-v5 serve row into this "
+                    "BENCH_*.json file")
+    pv.set_defaults(func=cmd_serve_bench)
     return p
 
 
+#: Typed-error exit codes (0/1/2 stay: OK / gate failure / usage).
+TYPED_ERROR_EXITS = (
+    ("repro.serve.errors", "Overloaded", 4),
+    ("repro.core.locks", "LockTimeout", 5),
+    ("repro.core.pool", "OutOfChunks", 6),
+)
+
+
 def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Typed operational errors escape commands as exceptions; they are
+    reported here as one clean line on stderr with a distinct exit
+    code (see ``TYPED_ERROR_EXITS``) instead of a traceback.
+    """
+    import importlib
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as exc:
+        for module_name, class_name, code in TYPED_ERROR_EXITS:
+            cls = getattr(importlib.import_module(module_name),
+                          class_name)
+            if isinstance(exc, cls):
+                print(f"repro: {class_name}: {exc}", file=sys.stderr)
+                return code
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -56,6 +56,22 @@ class LockTimeout(RuntimeError):
                          f"{attempts} failed attempts{held}")
 
 
+def _retry_policy(sl):
+    """The structure's lock-retry bound as a shared
+    :class:`~repro.chaos.retry.RetryPolicy` (no backoff: a spinning
+    team re-reads rather than sleeps).  Cached per instance and rebuilt
+    when ``lock_retry_limit`` changes, so tests that tighten the limit
+    keep working.  Lazy import — chaos depends on core, not vice versa.
+    """
+    limit = getattr(sl, "lock_retry_limit", DEFAULT_LOCK_RETRY_LIMIT)
+    policy = getattr(sl, "_lock_retry_policy", None)
+    if policy is None or policy.max_attempts != limit:
+        from ..chaos.retry import RetryPolicy
+        policy = RetryPolicy.bounded(limit)
+        sl._lock_retry_policy = policy
+    return policy
+
+
 def _count_lock_retry(sl, ptr: int, attempts: int) -> int:
     """Bump the retry/backoff accounting; raise past the bound."""
     attempts += 1
@@ -63,7 +79,7 @@ def _count_lock_retry(sl, ptr: int, attempts: int) -> int:
     m = _metrics(sl)
     if m is not None:
         m.lock_spins += 1
-    if attempts >= getattr(sl, "lock_retry_limit", DEFAULT_LOCK_RETRY_LIMIT):
+    if not _retry_policy(sl).allows(attempts):
         inj = _injector(sl)
         owner = inj.owner_of(ptr) if inj is not None else None
         raise LockTimeout(ptr, attempts, owner)

@@ -46,7 +46,14 @@ validated non-null for every non-OOM row.  Schema v4 adds the
 workload; missing reads as ``"uniform"``, so v3 baselines keep
 matching) and ``gen_fraction`` — the share of the cell's ops the
 backend replayed as per-op generators rather than vectorized waves
-(the fallback residue; 1.0 for generator-only backends).
+(the fallback residue; 1.0 for generator-only backends).  Schema v5
+adds the ``source`` row dimension (``"replay"`` for grid cells, the
+default when missing — so v4 baselines keep matching — and
+``"serve"`` for :mod:`repro.serve` campaign rows); ``source`` is part
+of the row identity, so the regression gate never compares a serve row
+against a replay row.  Serve rows additionally carry per-request
+latency percentiles ``p50_us``/``p99_us`` (step clock, 1 step = 1 µs)
+and the ``rejected``/``shed``/``retries`` robustness counters.
 """
 
 from __future__ import annotations
@@ -60,7 +67,7 @@ from pathlib import Path
 from .counters import MetricsCollector
 from .spans import SpanTracer, merge_chrome
 
-SCHEMA_ID = "repro-bench/4"
+SCHEMA_ID = "repro-bench/5"
 BENCH_GLOB = "BENCH_*.json"
 _BENCH_RE = re.compile(r"^BENCH_.*\.json$")
 
@@ -78,15 +85,22 @@ _ROW_NUMBERS = ("key_range", "n_ops", "model_seconds", "wall_seconds",
                 "serialization_cycles", "gen_fraction")
 _ROW_STRINGS = ("structure", "backend", "mixture", "bottleneck",
                 "distribution")
+#: Legal row sources (v5); a missing ``source`` reads as "replay".
+ROW_SOURCES = ("replay", "serve")
+#: Extra numeric fields serve-mode rows must carry.
+_SERVE_NUMBERS = ("p50_us", "p99_us")
+_SERVE_COUNTS = ("rejected", "shed", "retries")
 
 
 def row_key(row: dict) -> tuple:
     """The identity a row is matched on across BENCH files (``shards``
-    defaults to 1 and ``distribution`` to "uniform" so schema-v1/v3
-    rows keep matching)."""
+    defaults to 1, ``distribution`` to "uniform", and ``source`` to
+    "replay" so schema-v1/v3/v4 rows keep matching — and serve rows
+    never pair with replay rows in the regression gate)."""
     return (row["structure"], row["backend"], row["mixture"],
             row["key_range"], row["n_ops"], row.get("shards", 1),
-            row.get("distribution", "uniform"))
+            row.get("distribution", "uniform"),
+            row.get("source", "replay"))
 
 
 # ---------------------------------------------------------------------------
@@ -137,6 +151,7 @@ def run_grid(backends, structures, key_ranges=DEFAULT_RANGES,
                             "n_ops": n_ops,
                             "shards": n_shards,
                             "distribution": distribution,
+                            "source": "replay",
                             "gen_fraction": (0.0 if r.oom else
                                              r.gen_ops / max(1, r.n_ops)),
                             "mops": None if r.oom else r.mops,
@@ -212,6 +227,22 @@ def validate_bench(doc) -> list[str]:
         if not isinstance(shards, int) or isinstance(shards, bool) \
                 or shards < 1:
             errors.append(f"{where}.shards must be a positive integer")
+        source = row.get("source", "replay")
+        if source not in ROW_SOURCES:
+            errors.append(f"{where}.source must be one of {ROW_SOURCES}, "
+                          f"got {source!r}")
+        elif source == "serve":
+            for key in _SERVE_NUMBERS:
+                if not isinstance(row.get(key), (int, float)) \
+                        or isinstance(row.get(key), bool):
+                    errors.append(f"{where}.{key} must be a number "
+                                  f"(required on serve rows)")
+            for key in _SERVE_COUNTS:
+                value = row.get(key)
+                if not isinstance(value, int) or isinstance(value, bool) \
+                        or value < 0:
+                    errors.append(f"{where}.{key} must be a non-negative "
+                                  f"integer (required on serve rows)")
         if not isinstance(row.get("counters"), dict):
             errors.append(f"{where}.counters must be an object")
         elif not all(isinstance(v, int) and not isinstance(v, bool)
@@ -320,6 +351,23 @@ def render_markdown(doc: dict, comparison: dict | None = None,
             f"| {row['wall_seconds']:.2f} | "
             + " | ".join(str(c.get(name, 0)) for name in _MD_COUNTERS)
             + " |")
+    serve_rows = [r for r in doc["rows"]
+                  if r.get("source", "replay") == "serve"]
+    if serve_rows:
+        lines.append("")
+        lines.append("## Serve campaigns (request-path latency)")
+        lines.append("")
+        lines.append("| structure | backend | mixture | dist | p50 µs | "
+                     "p99 µs | rejected | shed | retries |")
+        lines.append("|" + "---|" * 9)
+        for row in serve_rows:
+            lines.append(
+                f"| {row['structure']} | {row['backend']} "
+                f"| {row['mixture']} "
+                f"| {row.get('distribution', 'uniform')} "
+                f"| {row['p50_us']:.0f} | {row['p99_us']:.0f} "
+                f"| {row['rejected']} | {row['shed']} "
+                f"| {row['retries']} |")
     if comparison is not None:
         lines.append("")
         lines.append(f"## Regression check vs {baseline_name or 'baseline'} "
@@ -328,23 +376,33 @@ def render_markdown(doc: dict, comparison: dict | None = None,
         if not regs:
             lines.append("")
             lines.append("No regressions.")
+
+        def cell_name(key):
+            s, b, m, kr, n, sh, dist, src = _pad_row_key(key)
+            return (f"{s}/{b}" + (f" x{sh}" if sh != 1 else "")
+                    + (f" {dist}" if dist != "uniform" else "")
+                    + (f" [{src}]" if src != "replay" else ""), m, kr)
         for entry in regs:
-            s, b, m, kr, n, sh, dist = entry["row"]
-            cell = (f"{s}/{b}" + (f" x{sh}" if sh != 1 else "")
-                    + (f" {dist}" if dist != "uniform" else ""))
+            cell, m, kr = cell_name(entry["row"])
             lines.append(f"- **REGRESSION** {cell} {m} @{kr:,}: "
                          f"{entry['old_mops']:.1f} → "
                          f"{entry['new_mops']:.1f} MOPS "
                          f"({entry['delta']:+.1%})")
         for entry in comparison["improvements"]:
-            s, b, m, kr, n, sh, dist = entry["row"]
-            cell = (f"{s}/{b}" + (f" x{sh}" if sh != 1 else "")
-                    + (f" {dist}" if dist != "uniform" else ""))
+            cell, m, kr = cell_name(entry["row"])
             lines.append(f"- improvement {cell} {m} @{kr:,}: "
                          f"{entry['old_mops']:.1f} → "
                          f"{entry['new_mops']:.1f} MOPS "
                          f"({entry['delta']:+.1%})")
     return "\n".join(lines) + "\n"
+
+
+def _pad_row_key(key) -> tuple:
+    """Pad a possibly pre-v5 7-element row identity to the v5 shape."""
+    key = tuple(key)
+    if len(key) == 7:
+        key = key + ("replay",)
+    return key
 
 
 # ---------------------------------------------------------------------------

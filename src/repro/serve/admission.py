@@ -1,0 +1,56 @@
+"""Admission control: token bucket + the degradation ladder.
+
+The bucket refills continuously on the virtual step clock, so admission
+is a pure function of (rate, burst, request arrival steps) — fully
+deterministic.  The ladder orders what gives way first as load rises:
+
+1. **Shed ranges** — range queries are the most expensive requests
+   (snapshot pin + full window walk) and the least latency-critical, so
+   they are rejected (`Overloaded("shed-range")`) while point ops still
+   flow, as soon as any point queue crosses ``shed_occupancy`` or the
+   bucket drains below ``range_reserve`` of its burst.
+2. **Reject at admission** — the bucket empties: point ops get a typed
+   `Overloaded("admission")` instead of unbounded queueing.
+3. **Backpressure** — admitted requests briefly wait for queue room
+   (bounded by ``backpressure_steps`` and the request deadline), then
+   `Overloaded("queue-full")`.
+"""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """Deterministic token bucket on the virtual step clock.
+
+    ``rate`` is tokens per 1000 steps (= per millisecond of virtual
+    time); ``burst`` is the bucket capacity.  ``rate=None`` disables
+    admission control (always admits)."""
+
+    def __init__(self, rate: float | None, burst: float = 64.0,
+                 now: int = 0):
+        self.rate = None if rate is None else float(rate) / 1000.0
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = int(now)
+
+    def _refill(self, now: int) -> None:
+        if self.rate is not None and now > self._last:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self._last) * self.rate)
+        self._last = max(self._last, int(now))
+
+    def take(self, now: int, n: float = 1.0) -> bool:
+        if self.rate is None:
+            return True
+        self._refill(now)
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def level(self, now: int) -> float:
+        """Current fill fraction in [0, 1] (1.0 when disabled)."""
+        if self.rate is None:
+            return 1.0
+        self._refill(now)
+        return self.tokens / self.burst if self.burst > 0 else 0.0

@@ -1,0 +1,302 @@
+"""Serve campaigns: end-to-end overload runs with verification and a
+BENCH row.
+
+One campaign = one seeded load plan (Poisson + chaos bursts) driven
+through a :class:`~repro.serve.frontend.ServeFrontend` on the virtual
+loop, then audited:
+
+* **zero hangs** — every submitted request's future resolved (plus the
+  loop itself raises :class:`~repro.serve.aio.HangError` on deadlock /
+  step-budget exhaustion);
+* **linearizable** — executed point ops are judged by the existing
+  Wing–Gong checker against the prefill and final key sets;
+* **invariants** — every shard still passes
+  :func:`~repro.core.validate_structure`.
+
+The report folds into a schema-v5 BENCH row (``source: "serve"``) with
+p50/p99 request latency and the rejection/shed/retry counters, plus a
+log2-bucketed latency histogram for the CI artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chaos.linearize import HistoryRecorder, check_history
+from ..chaos.retry import RetryPolicy
+from ..chaos.serve_faults import ServeChaosConfig, ServeFaultInjector
+from ..core import InvariantViolation, validate_structure
+from ..engine import make_structure
+from ..metrics import MetricsCollector
+from ..metrics.spans import SpanTracer
+from .aio import HangError, VirtualLoop
+from .frontend import ServeFrontend
+from .loadgen import (LoadConfig, build_plan, make_clients, run_client,
+                      sizing_workload)
+from .request import ServeStats, percentile
+
+
+@dataclass(frozen=True)
+class ServeCampaignConfig:
+    structure: str = "gfsl@4"
+    team_size: int = 32
+    backend: str = "vectorized"
+    load: LoadConfig = field(default_factory=LoadConfig)
+    chaos: ServeChaosConfig | None = None
+    coalesce_size: int = 32
+    coalesce_steps: int = 200
+    queue_depth: int = 128
+    range_depth: int = 16
+    admit_rate: float | None = None      # tokens per 1000 steps
+    admit_burst: float = 64.0
+    shed_occupancy: float = 0.5
+    backpressure_steps: int = 400
+    breaker_threshold: int = 3
+    breaker_reset_steps: int = 1500
+    retry_attempts: int = 4
+    retry_base_steps: int = 32
+    check: bool = True
+    max_steps: int = 20_000_000
+
+
+@dataclass
+class ServeReport:
+    config: ServeCampaignConfig
+    stats: ServeStats
+    total_steps: int = 0
+    hung: str | None = None
+    unresolved: int = 0
+    linearizable: bool | None = None     # None = not checked
+    lin_summary: str = ""
+    invariant_error: str | None = None
+    fault_counts: dict = field(default_factory=dict)
+    p50_us: float | None = None
+    p99_us: float | None = None
+    range_p99_us: float | None = None
+    wall_seconds: float = 0.0
+    transactions: int = 0
+    l2_hit_rate: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (self.hung is None and self.unresolved == 0
+                and self.linearizable is not False
+                and self.invariant_error is None)
+
+    def summary(self) -> str:
+        st = self.stats
+        cfg = self.config
+        verdict = "OK" if self.ok else "FAIL"
+        lines = [
+            f"serve {verdict}: {cfg.structure}/{cfg.backend} — "
+            f"{st.submitted} requests, {self.total_steps:,} steps "
+            f"({cfg.load.rate:.0f} req/kstep offered, seed "
+            f"{cfg.load.seed})",
+            f"  admitted={st.admitted} completed={st.completed} "
+            f"rejected={st.rejected} shed={st.shed} expired={st.expired} "
+            f"failed={st.failed} breaker_fastfail={st.breaker_fastfail}",
+            f"  flushes={st.flushes} ({st.flushed_ops} ops) "
+            f"retries={st.retries} breaker_opens={st.breaker_opens} "
+            f"slow_client_drops={st.slow_client_drops}",
+        ]
+        if self.p50_us is not None:
+            rng = ("-" if self.range_p99_us is None
+                   else f"{self.range_p99_us:.0f}us")
+            lines.append(f"  point latency p50={self.p50_us:.0f}us "
+                         f"p99={self.p99_us:.0f}us · range p99={rng}")
+        if self.hung is not None:
+            lines.append(f"  HANG: {self.hung}")
+        if self.unresolved:
+            lines.append(f"  UNRESOLVED FUTURES: {self.unresolved}")
+        if self.linearizable is not None:
+            lines.append(f"  history: {self.lin_summary}")
+        if self.invariant_error is not None:
+            lines.append(f"  INVARIANT: {self.invariant_error}")
+        if self.fault_counts:
+            hits = ", ".join(f"{k}={v}" for k, v in
+                             sorted(self.fault_counts.items()) if v)
+            lines.append(f"  chaos: {hits or 'none hit'}")
+        return "\n".join(lines)
+
+
+def run_serve_campaign(cfg: ServeCampaignConfig) -> ServeReport:
+    """Run one seeded serve campaign end to end and audit it."""
+    import time
+
+    plan = build_plan(cfg.load, cfg.chaos)
+    workload = sizing_workload(cfg.load, plan)
+    structure = make_structure(cfg.structure, workload,
+                               team_size=cfg.team_size)
+    initial = set(int(k) for k in plan.prefill)
+    tracer = structure.ctx.tracer
+    tracer.reset_stats()
+
+    loop = VirtualLoop()
+    metrics = MetricsCollector(spans=SpanTracer())
+    recorder = HistoryRecorder()
+    injector = (ServeFaultInjector(cfg.chaos)
+                if cfg.chaos is not None and cfg.chaos.any_faults else None)
+    retry = RetryPolicy(max_attempts=cfg.retry_attempts,
+                        base_steps=cfg.retry_base_steps,
+                        seed=cfg.load.seed + 7)
+    frontend = ServeFrontend(
+        structure, loop, backend=cfg.backend,
+        coalesce_size=cfg.coalesce_size, coalesce_steps=cfg.coalesce_steps,
+        queue_depth=cfg.queue_depth, range_depth=cfg.range_depth,
+        admit_rate=cfg.admit_rate, admit_burst=cfg.admit_burst,
+        shed_occupancy=cfg.shed_occupancy,
+        backpressure_steps=cfg.backpressure_steps,
+        breaker_threshold=cfg.breaker_threshold,
+        breaker_reset_steps=cfg.breaker_reset_steps,
+        retry=retry, recorder=recorder, faults=injector, metrics=metrics)
+
+    clients = make_clients(loop, cfg.load)
+    per_client = plan.by_client()
+    sink: list = []
+
+    async def main():
+        frontend.start()
+        tasks = [loop.create_task(
+            run_client(loop, frontend, c, per_client.get(c.cid, []),
+                       plan.stall_at.get(c.cid), sink),
+            f"client-{c.cid}") for c in clients]
+        for t in tasks:
+            await t
+        await frontend.drain()
+        await frontend.close()
+
+    wall = time.perf_counter()
+    hung = None
+    try:
+        loop.run_until_complete(main(), max_steps=cfg.max_steps)
+    except HangError as exc:
+        hung = str(exc)
+    wall = time.perf_counter() - wall
+
+    report = ServeReport(config=cfg, stats=frontend.stats,
+                         total_steps=loop.now, hung=hung,
+                         wall_seconds=wall,
+                         transactions=tracer.stats.transactions,
+                         l2_hit_rate=tracer.stats.l2_hit_rate)
+    report.unresolved = sum(1 for _req, fut in sink if not fut.done())
+    if injector is not None:
+        if cfg.chaos.bursts:
+            injector.note("request_burst", cfg.chaos.bursts)
+        if plan.stall_at:
+            injector.note("stalled_client", len(plan.stall_at))
+        report.fault_counts = dict(injector.counts)
+
+    st = frontend.stats
+    report.p50_us = percentile(st.point_latencies, 0.50)
+    report.p99_us = percentile(st.point_latencies, 0.99)
+    report.range_p99_us = percentile(st.range_latencies, 0.99)
+
+    if cfg.check and hung is None:
+        lin = check_history(recorder, initial, set(structure.keys()))
+        report.linearizable = lin.ok
+        report.lin_summary = lin.summary()
+        shards = getattr(structure, "shards", [structure])
+        try:
+            for shard in shards:
+                validate_structure(shard)
+        except InvariantViolation as exc:
+            report.invariant_error = str(exc)
+    return report
+
+
+def latency_histogram(stats: ServeStats) -> dict:
+    """Log2-bucketed latency histogram (µs buckets), the CI artifact."""
+    def bucketize(samples):
+        buckets: dict[str, int] = {}
+        for v in samples:
+            lo = 1
+            while lo * 2 <= max(1, v):
+                lo *= 2
+            label = f"{lo}-{lo * 2 - 1}us"
+            buckets[label] = buckets.get(label, 0) + 1
+        return dict(sorted(buckets.items(),
+                           key=lambda kv: int(kv[0].split("-")[0])))
+    return {
+        "point_us": bucketize(stats.point_latencies),
+        "range_us": bucketize(stats.range_latencies),
+        "point_samples": len(stats.point_latencies),
+        "range_samples": len(stats.range_latencies),
+    }
+
+
+def serve_bench_row(cfg: ServeCampaignConfig, report: ServeReport) -> dict:
+    """A schema-v5 BENCH row for one serve campaign (``source:
+    "serve"`` keeps it out of replay-row regression comparisons)."""
+    st = report.stats
+    load = cfg.load
+    model_seconds = report.total_steps * 1e-6     # 1 step = 1 µs
+    mops = (st.completed / report.total_steps
+            if report.total_steps > 0 else 0.0)   # ops/µs = M ops/s
+    counters = st.counters()
+    counters["seed"] = int(load.seed)
+    if report.fault_counts:
+        for kind, n in sorted(report.fault_counts.items()):
+            counters[f"fault_{kind}"] = int(n)
+    return {
+        "structure": cfg.structure,
+        "backend": cfg.backend,
+        "mixture": "[" + ",".join(str(m) for m in load.mix) + "]",
+        "key_range": load.key_range,
+        "n_ops": load.n_requests,
+        "shards": int(cfg.structure.partition("@")[2] or 1),
+        "distribution": load.distribution,
+        "source": "serve",
+        "gen_fraction": (st.gen_ops / st.flushed_ops
+                         if st.flushed_ops else 0.0),
+        "mops": mops,
+        "model_seconds": model_seconds,
+        "wall_seconds": report.wall_seconds,
+        "transactions_per_op": (report.transactions
+                                / max(1, st.completed)),
+        "l2_hit_rate": report.l2_hit_rate,
+        "bottleneck": "serve",
+        "occupancy": 0.0,
+        "oom": False,
+        "issue_cycles": 0.0,
+        "bandwidth_cycles": 0.0,
+        "latency_cycles": 0.0,
+        "serialization_cycles": 0.0,
+        "p50_us": report.p50_us if report.p50_us is not None else 0.0,
+        "p99_us": report.p99_us if report.p99_us is not None else 0.0,
+        "rejected": st.rejected,
+        "shed": st.shed,
+        "retries": st.retries,
+        "counters": counters,
+    }
+
+
+def merge_serve_row(row: dict, path) -> None:
+    """Write (or merge) a serve row into a BENCH file: an existing file
+    keeps its replay rows, any previous serve row with the same
+    identity is replaced, and the document is stamped with the current
+    schema id."""
+    from pathlib import Path
+
+    from ..metrics import bench as B
+
+    path = Path(path)
+    if path.is_file():
+        doc = B.load_bench(path)
+        doc["schema"] = B.SCHEMA_ID
+        doc["rows"] = [r for r in doc.get("rows", [])
+                       if B.row_key(r) != B.row_key(row)]
+        doc["rows"].append(row)
+    else:
+        from datetime import datetime, timezone
+        doc = {"schema": B.SCHEMA_ID,
+               "created_utc": datetime.now(timezone.utc).isoformat(
+                   timespec="seconds"),
+               "seed": row.get("counters", {}).get("seed", 0),
+               "n_ops": row["n_ops"],
+               "team_size": 32,
+               "rows": [row]}
+    errors = B.validate_bench(doc)
+    if errors:
+        raise ValueError("serve bench row failed schema validation: "
+                         + "; ".join(errors))
+    B.write_bench(doc, path)

@@ -1,0 +1,64 @@
+"""Per-shard circuit breaker: fail fast while a shard is wedged.
+
+Classic three-state breaker on the virtual step clock.  ``threshold``
+consecutive flush failures open it; while open, both new submissions
+targeting the shard and queued flushes fail fast with a typed
+:class:`~repro.serve.errors.CircuitOpen` (no device work, no queue
+growth behind the wedge).  After ``reset_steps`` the next flush runs as
+a half-open probe: success closes the breaker, failure re-opens it for
+another full window.
+"""
+
+from __future__ import annotations
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    def __init__(self, threshold: int = 4, reset_steps: int = 2000):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = int(threshold)
+        self.reset_steps = int(reset_steps)
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = -1
+        self.opens = 0
+
+    @property
+    def retry_at(self) -> int:
+        """Step at which an open breaker admits its probe."""
+        return self.opened_at + self.reset_steps
+
+    def allow_flush(self, now: int) -> bool:
+        """May a flush attempt run now?  Transitions open → half-open
+        when the reset window has elapsed (the caller's attempt *is*
+        the probe)."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now >= self.retry_at:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True                      # half-open: the probe runs
+
+    def admits(self, now: int) -> bool:
+        """Pure read for the submit path: reject new work for a shard
+        that is open with its reset window still running."""
+        return not (self.state == OPEN and now < self.retry_at)
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+
+    def record_failure(self, now: int) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            if self.state != OPEN:
+                self.opens += 1
+            self.state = OPEN
+            self.opened_at = int(now)
+            self.failures = 0

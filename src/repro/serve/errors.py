@@ -1,0 +1,51 @@
+"""Typed request-path errors for the serving frontend.
+
+Every admitted request terminates in exactly one of: a result, one of
+these typed errors, or a typed fault surfaced from the structure
+(:class:`~repro.core.locks.LockTimeout` and friends).  Clients and the
+CLI switch on the type, never on message text.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """Base class for typed serving-layer errors."""
+
+
+class Overloaded(ServeError):
+    """Admission control rejected the request.  ``reason`` names the
+    stage that said no: ``"admission"`` (token bucket empty),
+    ``"queue-full"`` (backpressure wait exhausted), ``"shed-range"``
+    (degradation ladder shedding range queries), ``"client-inflight"``
+    (per-client cap), or ``"slow-client"`` (the client stopped
+    consuming its delivery queue)."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(f"overloaded: {reason}")
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline passed — on arrival, while queued (never
+    dispatched), or while waiting for queue room."""
+
+    def __init__(self, deadline: int, now: int, where: str):
+        self.deadline = int(deadline)
+        self.now = int(now)
+        self.where = where
+        super().__init__(f"deadline {deadline} exceeded at step {now} "
+                         f"({where})")
+
+
+class CircuitOpen(ServeError):
+    """The target shard's circuit breaker is open: recent flushes kept
+    failing, so the frontend fails fast instead of queueing more work
+    behind a wedged shard.  ``retry_at`` is the step at which the
+    breaker will admit a probe."""
+
+    def __init__(self, shard: int, retry_at: int):
+        self.shard = int(shard)
+        self.retry_at = int(retry_at)
+        super().__init__(f"shard {shard} circuit open (probe at step "
+                         f"{retry_at})")

@@ -1,0 +1,397 @@
+"""The resilient serving frontend: request path, coalescer, robustness.
+
+Many client coroutines submit single get/put/delete/range requests with
+per-request deadlines.  Point requests are routed by the structure's
+partitioner to a per-shard bounded queue; a dispatcher task per shard
+coalesces them — flush on ``coalesce_size`` or ``coalesce_steps``
+timeout, whichever first — into one :class:`~repro.engine.OpBatch`
+executed through ``execute_batch(commit="batch")`` (one epoch bump per
+flush, Jiffy-style).  Range requests ride a separate lane: each runs on
+its own snapshot cut and is the first thing shed under overload.
+
+Request lifecycle (every admitted request terminates — enforced, not
+assumed, by :class:`~repro.serve.aio.HangError`):
+
+    submit ─ deadline? ─ slow client? ─ inflight cap? ─ ladder/bucket
+           ─ breaker ─ enqueue (bounded backpressure wait)
+    flush  ─ drop expired (never dispatched) ─ breaker ─ frozen-shard
+           fault ─ execute ─ retry w/ seeded backoff ─ complete futures
+
+Latency is measured on the :class:`~repro.metrics.spans.SpanTracer`
+step clock: before a flush the tracer clock is advanced to virtual
+"now", the backend then advances it per wave, and the loop absorbs the
+device time back — so queueing delay and device time land on one
+timeline (1 step = 1 µs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chaos.linearize import HistoryRecorder
+from ..chaos.retry import RetryPolicy
+from ..core.locks import LockTimeout
+from ..core.traversal import RestartStorm
+from ..engine import make_backend
+from ..engine.batch import OpBatch
+from ..metrics import MetricsCollector
+from ..metrics.spans import SpanTracer
+from .admission import TokenBucket
+from .aio import TIMED_OUT, Future, Queue, QueueFull, VirtualLoop
+from .breaker import CircuitBreaker
+from .errors import CircuitOpen, DeadlineExceeded, Overloaded
+from .request import HISTORY_OP, OP_CODE, RANGE, Request, ServeStats
+
+#: Typed faults a flush may surface that the retry policy can judge.
+_FLUSH_FAULTS = (LockTimeout, RestartStorm)
+
+_STOP = object()
+
+
+class ServeFrontend:
+    """One serving frontend over a structure (GFSL or ShardedMap)."""
+
+    def __init__(self, structure, loop: VirtualLoop, *,
+                 backend: str = "vectorized",
+                 coalesce_size: int = 32, coalesce_steps: int = 200,
+                 queue_depth: int = 128, range_depth: int = 16,
+                 admit_rate: float | None = None, admit_burst: float = 64.0,
+                 shed_occupancy: float = 0.5, range_reserve: float = 0.25,
+                 backpressure_steps: int = 400,
+                 breaker_threshold: int = 4, breaker_reset_steps: int = 2000,
+                 retry: RetryPolicy | None = None,
+                 recorder: HistoryRecorder | None = None,
+                 faults=None, metrics: MetricsCollector | None = None):
+        self.structure = structure
+        self.loop = loop
+        self.backend = make_backend(backend) \
+            if not hasattr(backend, "execute") else backend
+        self.coalesce_size = max(1, int(coalesce_size))
+        self.coalesce_steps = max(1, int(coalesce_steps))
+        self.queue_depth = int(queue_depth)
+        self.shed_occupancy = float(shed_occupancy)
+        self.range_reserve = float(range_reserve)
+        self.backpressure_steps = int(backpressure_steps)
+        self.retry = retry if retry is not None else \
+            RetryPolicy(max_attempts=4, base_steps=32, seed=0)
+        self.recorder = recorder
+        self.faults = faults
+        self.stats = ServeStats()
+        self.outstanding = 0
+        self._drain_waiters: list[Future] = []
+        self._tasks = []
+        self._started = False
+
+        self.n_shards = getattr(structure, "n_shards", 1)
+        self._queues = [Queue(loop, queue_depth)
+                        for _ in range(self.n_shards)]
+        self._rqueue = Queue(loop, range_depth)
+        self.bucket = TokenBucket(admit_rate, admit_burst, now=loop.now)
+        self.breakers = [CircuitBreaker(breaker_threshold,
+                                        breaker_reset_steps)
+                         for _ in range(self.n_shards)]
+
+        if metrics is None:
+            metrics = MetricsCollector(spans=SpanTracer())
+        if metrics.spans is None:
+            metrics.spans = SpanTracer()
+        self.metrics = metrics
+        structure.metrics = metrics
+
+    # -- routing ----------------------------------------------------------
+    def shard_of(self, key: int) -> int:
+        if self.n_shards == 1:
+            return 0
+        return self.structure.shard_of(key)
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the per-shard point dispatchers and the range lane."""
+        if self._started:
+            return
+        self._started = True
+        for sid in range(self.n_shards):
+            self._tasks.append(self.loop.create_task(
+                self._point_dispatcher(sid), f"dispatch-{sid}"))
+        self._tasks.append(self.loop.create_task(
+            self._range_dispatcher(), "dispatch-range"))
+
+    async def drain(self) -> None:
+        """Wait until every admitted request has terminated."""
+        while self.outstanding > 0:
+            fut = Future(self.loop)
+            self._drain_waiters.append(fut)
+            await fut
+
+    async def close(self) -> None:
+        """Stop the dispatchers (call after :meth:`drain`)."""
+        for q in self._queues:
+            await q.put(_STOP)
+        await self._rqueue.put(_STOP)
+        for t in self._tasks:
+            await t
+        self._tasks = []
+        self._started = False
+
+    # -- admission (the submit path) --------------------------------------
+    def _overloaded_for_ranges(self) -> bool:
+        if self.queue_depth > 0:
+            occ = max(q.qsize() for q in self._queues) / self.queue_depth
+            if occ >= self.shed_occupancy:
+                return True
+        return self.bucket.level(self.loop.now) < self.range_reserve
+
+    def _reject(self, req: Request, exc) -> None:
+        st = self.stats
+        if isinstance(exc, Overloaded) and exc.reason == "shed-range":
+            st.shed += 1
+        else:
+            st.rejected += 1
+        reason = getattr(exc, "reason", type(exc).__name__)
+        st.note_reason(reason)
+        req.future.set_exception(exc)
+
+    async def submit(self, req: Request) -> Future:
+        """Admit (or reject) one request; always returns its future.
+
+        The future terminates with the op's result, a typed rejection
+        (:class:`Overloaded` / :class:`CircuitOpen`), a
+        :class:`DeadlineExceeded`, or a typed structure fault — never
+        hangs."""
+        loop, st = self.loop, self.stats
+        req.submit_step = loop.now
+        req.future = Future(loop)
+        st.submitted += 1
+        client = req.client
+
+        if req.expired(loop.now):
+            st.expired += 1
+            req.future.set_exception(
+                DeadlineExceeded(req.deadline, loop.now, "on arrival"))
+            return req.future
+        if client is not None and client.delivery is not None \
+                and client.delivery.full():
+            self._reject(req, Overloaded("slow-client"))
+            return req.future
+        if client is not None and client.inflight >= client.max_inflight:
+            self._reject(req, Overloaded("client-inflight"))
+            return req.future
+
+        if req.kind == RANGE:
+            if self._overloaded_for_ranges():
+                self._reject(req, Overloaded("shed-range"))
+                return req.future
+            if not self.bucket.take(loop.now):
+                self._reject(req, Overloaded("admission"))
+                return req.future
+            queue = self._rqueue
+        else:
+            sid = self.shard_of(req.key)
+            breaker = self.breakers[sid]
+            if not breaker.admits(loop.now):
+                st.breaker_fastfail += 1
+                st.note_reason("breaker")
+                req.future.set_exception(CircuitOpen(sid, breaker.retry_at))
+                return req.future
+            if not self.bucket.take(loop.now):
+                self._reject(req, Overloaded("admission"))
+                return req.future
+            queue = self._queues[sid]
+
+        limit = loop.now + self.backpressure_steps
+        if req.deadline is not None:
+            limit = min(limit, req.deadline)
+        stored = await queue.put(req, deadline=limit)
+        if not stored:
+            if req.expired(loop.now):
+                st.expired += 1
+                req.future.set_exception(
+                    DeadlineExceeded(req.deadline, loop.now,
+                                     "waiting for queue room"))
+            else:
+                self._reject(req, Overloaded("queue-full"))
+            return req.future
+
+        st.admitted += 1
+        self.outstanding += 1
+        if client is not None:
+            client.inflight += 1
+        return req.future
+
+    # -- completion -------------------------------------------------------
+    def _resolve(self, req: Request, result=None, exc=None) -> None:
+        if exc is not None:
+            req.future.set_exception(exc)
+        else:
+            req.future.set_result(result)
+        self.outstanding -= 1
+        client = req.client
+        if client is not None:
+            client.inflight -= 1
+            if client.delivery is not None:
+                try:
+                    client.delivery.put_nowait((req, exc))
+                except QueueFull:
+                    self.stats.slow_client_drops += 1
+        if self.outstanding == 0 and self._drain_waiters:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for w in waiters:
+                if not w.done():
+                    w.set_result(None)
+
+    # -- the coalescer ----------------------------------------------------
+    async def _point_dispatcher(self, sid: int) -> None:
+        queue = self._queues[sid]
+        while True:
+            first = await queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            flush_at = self.loop.now + self.coalesce_steps
+            stop = False
+            while len(batch) < self.coalesce_size:
+                nxt = await queue.get(deadline=flush_at)
+                if nxt is TIMED_OUT:
+                    break
+                if nxt is _STOP:
+                    stop = True
+                    break
+                batch.append(nxt)
+            await self._flush_points(sid, batch)
+            if stop:
+                return
+
+    async def _range_dispatcher(self) -> None:
+        while True:
+            req = await self._rqueue.get()
+            if req is _STOP:
+                return
+            self._execute_range(req)
+
+    # -- flushing ---------------------------------------------------------
+    def _drop_expired(self, reqs: list[Request]) -> list[Request]:
+        now, st = self.loop.now, self.stats
+        live = []
+        for r in reqs:
+            if r.expired(now):
+                st.expired += 1
+                self._resolve(r, exc=DeadlineExceeded(
+                    r.deadline, now, "queued, never dispatched"))
+            else:
+                live.append(r)
+        return live
+
+    def _sync_clock_in(self) -> None:
+        spans = self.metrics.spans
+        if spans.clock < self.loop.now:
+            spans.advance(self.loop.now - spans.clock)
+
+    def _sync_clock_out(self) -> None:
+        self.loop.now = max(self.loop.now, self.metrics.spans.clock)
+
+    def _execute_points(self, reqs: list[Request]):
+        ops = np.array([OP_CODE[r.kind] for r in reqs], dtype=np.int64)
+        keys = np.array([r.key for r in reqs], dtype=np.int64)
+        values = np.array([r.value for r in reqs], dtype=np.int64)
+        batch = OpBatch(ops, keys, values)
+        self._sync_clock_in()
+        try:
+            return self.structure.execute_batch(
+                batch, backend=self.backend, commit="batch")
+        finally:
+            self._sync_clock_out()
+
+    async def _flush_points(self, sid: int, reqs: list[Request]) -> None:
+        loop, st = self.loop, self.stats
+        breaker = self.breakers[sid]
+        attempts = 0
+        while True:
+            reqs = self._drop_expired(reqs)
+            if not reqs:
+                return
+            if not breaker.allow_flush(loop.now):
+                st.breaker_fastfail += len(reqs)
+                st.note_reason("breaker")
+                for r in reqs:
+                    self._resolve(r, exc=CircuitOpen(sid, breaker.retry_at))
+                return
+
+            err = None
+            if self.faults is not None and self.faults.frozen(sid, loop.now):
+                from ..chaos.serve_faults import ShardFrozen
+                err = ShardFrozen(sid, loop.now)
+            if err is None:
+                try:
+                    res = self._execute_points(reqs)
+                except _FLUSH_FAULTS as exc:
+                    err = exc
+
+            if err is None:
+                breaker.record_success()
+                st.flushes += 1
+                st.flushed_ops += len(reqs)
+                st.gen_ops += int(getattr(res, "gen_ops", 0) or 0)
+                end = loop.now
+                for r, value in zip(reqs, res.results):
+                    result = bool(value)
+                    if self.recorder is not None:
+                        self.recorder.record(HISTORY_OP[r.kind], r.key,
+                                             result, r.submit_step, end)
+                    st.point_latencies.append(end - r.submit_step)
+                    st.completed += 1
+                    self._resolve(r, result=result)
+                return
+
+            was_open = breaker.state
+            breaker.record_failure(loop.now)
+            if breaker.state == "open" and was_open != "open":
+                st.breaker_opens += 1
+            attempts += 1
+            if (self.retry.is_retryable(err) and self.retry.allows(attempts)
+                    and breaker.state != "open"):
+                st.retries += 1
+                backoff = self.retry.backoff_steps(attempts)
+                if backoff > 0:
+                    await loop.sleep(backoff)
+                continue
+            st.failed += len(reqs)
+            st.note_reason(type(err).__name__)
+            for r in reqs:
+                self._resolve(r, exc=err)
+            return
+
+    # -- the range lane ---------------------------------------------------
+    def _execute_range(self, req: Request) -> None:
+        """Run one range query on its own snapshot cut.  The pin is
+        taken first and released unconditionally — an expired request
+        frees it without ever walking the structure."""
+        loop, st = self.loop, self.stats
+        if not hasattr(self.structure, "begin_snapshot"):
+            rows = self.structure.range_query(req.key, req.hi)
+            st.range_latencies.append(loop.now - req.submit_step)
+            st.completed += 1
+            self._resolve(req, result=rows)
+            return
+        snap = self.structure.begin_snapshot()
+        try:
+            if req.expired(loop.now):
+                st.expired += 1
+                self._resolve(req, exc=DeadlineExceeded(
+                    req.deadline, loop.now, "queued, snapshot released"))
+                return
+            tracer = getattr(self.structure.ctx, "tracer", None)
+            before = tracer.stats.transactions if tracer is not None else 0
+            rows = snap.range_query(req.key, req.hi, tracer=tracer)
+            if tracer is not None:
+                # Charge the frozen walk to the virtual clock: ~4
+                # memory transactions per device step, floor 1.
+                loop.now += max(1, (tracer.stats.transactions - before) // 4)
+            st.range_latencies.append(loop.now - req.submit_step)
+            st.completed += 1
+            self._resolve(req, result=rows)
+        except _FLUSH_FAULTS as exc:
+            st.failed += 1
+            st.note_reason(type(exc).__name__)
+            self._resolve(req, exc=exc)
+        finally:
+            snap.release()

@@ -3,7 +3,10 @@
 Every row carries ``distribution`` (part of the row identity) and
 ``gen_fraction`` — the share of ops replayed through per-op generators
 rather than the vectorized fast path; the markdown summary shows both,
-and v3 baselines still compare (missing fields default)."""
+and v3 baselines still compare (missing fields default).  The schema
+has since moved to v5 (the ``source`` row dimension; see
+test_bench_v5.py) — these tests pin that the v4 row contract is
+preserved inside it."""
 
 import pytest
 
@@ -26,7 +29,7 @@ def hotspot_doc():
 
 class TestSchema:
     def test_schema_id_and_validation(self, doc):
-        assert B.SCHEMA_ID == "repro-bench/4"
+        assert B.SCHEMA_ID == "repro-bench/5"
         assert doc["schema"] == B.SCHEMA_ID
         assert B.validate_bench(doc) == []
 
@@ -52,12 +55,12 @@ class TestSchema:
         uniform_keys = {B.row_key(r) for r in doc["rows"]}
         hotspot_keys = {B.row_key(r) for r in hotspot_doc["rows"]}
         assert not (uniform_keys & hotspot_keys)
-        assert all(k[-1] == "hotspot" for k in hotspot_keys)
+        assert all(k[-2] == "hotspot" for k in hotspot_keys)
 
     def test_v3_rows_without_distribution_still_key(self, doc):
         legacy = dict(doc["rows"][0])
         legacy.pop("distribution")
-        assert B.row_key(legacy)[-1] == "uniform"
+        assert B.row_key(legacy)[-2] == "uniform"
         assert B.row_key(legacy) == B.row_key(doc["rows"][0])
 
 

@@ -1,0 +1,164 @@
+"""Bench schema v5: the ``source`` row dimension + serve-campaign rows.
+
+v5 adds ``source`` ("replay" grid cells vs "serve" campaign rows) to
+the row identity — the regression gate must never compare a serve row
+against a replay row — and requires ``p50_us``/``p99_us`` and the
+``rejected``/``shed``/``retries`` counters on serve rows.  v4 baselines
+(no ``source``) keep matching replay rows.
+"""
+
+import pytest
+
+from repro.chaos import ServeChaosConfig
+from repro.metrics import bench as B
+from repro.serve import (LoadConfig, ServeCampaignConfig,
+                         merge_serve_row, run_serve_campaign,
+                         serve_bench_row)
+
+
+@pytest.fixture(scope="module")
+def replay_doc():
+    out, _ = B.run_grid(["vectorized"], ["gfsl"], key_ranges=(512,),
+                        n_ops=60, seed=7)
+    return out
+
+
+@pytest.fixture(scope="module")
+def serve_row():
+    load = LoadConfig(n_requests=150, n_clients=8, key_range=512,
+                      rate=800.0, distribution="zipf", seed=11)
+    chaos = ServeChaosConfig(freeze_shard=0, freeze_at=100,
+                             freeze_steps=200, seed=11)
+    cfg = ServeCampaignConfig(structure="gfsl@2", load=load, chaos=chaos,
+                              admit_rate=400.0)
+    report = run_serve_campaign(cfg)
+    assert report.ok, report.summary()
+    return serve_bench_row(cfg, report)
+
+
+def with_serve(replay_doc, serve_row):
+    return dict(replay_doc, rows=replay_doc["rows"] + [serve_row])
+
+
+class TestRowIdentity:
+    def test_source_tags(self, replay_doc, serve_row):
+        assert all(r["source"] == "replay" for r in replay_doc["rows"])
+        assert serve_row["source"] == "serve"
+        assert B.row_key(serve_row)[-1] == "serve"
+        assert B.row_key(replay_doc["rows"][0])[-1] == "replay"
+
+    def test_v4_rows_without_source_read_as_replay(self, replay_doc):
+        legacy = dict(replay_doc["rows"][0])
+        legacy.pop("source")
+        assert B.row_key(legacy)[-1] == "replay"
+        assert B.row_key(legacy) == B.row_key(replay_doc["rows"][0])
+
+    def test_serve_never_collides_with_replay(self, replay_doc, serve_row):
+        twin = dict(serve_row, source="replay")
+        assert B.row_key(twin) != B.row_key(serve_row)
+
+
+class TestValidation:
+    def test_mixed_document_is_valid(self, replay_doc, serve_row):
+        assert B.validate_bench(with_serve(replay_doc, serve_row)) == []
+
+    @pytest.mark.parametrize("field", ["p50_us", "p99_us"])
+    def test_serve_rows_require_latency_fields(self, replay_doc,
+                                               serve_row, field):
+        bad = dict(serve_row)
+        bad.pop(field)
+        errors = B.validate_bench(with_serve(replay_doc, bad))
+        assert any(field in e for e in errors)
+
+    @pytest.mark.parametrize("field", ["rejected", "shed", "retries"])
+    def test_serve_rows_require_robustness_counts(self, replay_doc,
+                                                  serve_row, field):
+        bad = dict(serve_row)
+        bad.pop(field)
+        errors = B.validate_bench(with_serve(replay_doc, bad))
+        assert any(field in e for e in errors)
+
+    def test_negative_count_rejected(self, replay_doc, serve_row):
+        bad = dict(serve_row, rejected=-1)
+        errors = B.validate_bench(with_serve(replay_doc, bad))
+        assert any("rejected" in e for e in errors)
+
+    def test_unknown_source_rejected(self, replay_doc):
+        bad_row = dict(replay_doc["rows"][0], source="mystery")
+        errors = B.validate_bench(dict(replay_doc, rows=[bad_row]))
+        assert any("source" in e for e in errors)
+
+    def test_replay_rows_need_no_serve_fields(self, replay_doc):
+        assert "p99_us" not in replay_doc["rows"][0]
+        assert B.validate_bench(replay_doc) == []
+
+
+class TestRegressionGate:
+    def test_serve_rows_never_pair_with_replay_baseline(self, replay_doc,
+                                                        serve_row):
+        doc = with_serve(replay_doc, serve_row)
+        out = B.compare_bench(doc, replay_doc, threshold=0.2)
+        assert [u["row"][-1] for u in out["unmatched"]] == ["serve"]
+        assert not out["regressions"]
+
+    def test_v4_baseline_still_matches_replay_rows(self, replay_doc,
+                                                   serve_row):
+        legacy_rows = []
+        for r in replay_doc["rows"]:
+            lr = dict(r)
+            lr.pop("source")
+            lr["mops"] = r["mops"] * 2        # fake: old build faster
+            legacy_rows.append(lr)
+        baseline = {"schema": "repro-bench/4", "rows": legacy_rows}
+        out = B.compare_bench(with_serve(replay_doc, serve_row),
+                              baseline, threshold=0.2)
+        assert len(out["regressions"]) == len(replay_doc["rows"])
+        assert [u["row"][-1] for u in out["unmatched"]] == ["serve"]
+
+
+class TestMarkdown:
+    def test_serve_section_rendered(self, replay_doc, serve_row):
+        md = B.render_markdown(with_serve(replay_doc, serve_row))
+        assert "## Serve campaigns (request-path latency)" in md
+        assert "| p50 µs |" in md.replace("  ", " ")
+
+    def test_no_serve_section_without_serve_rows(self, replay_doc):
+        assert "Serve campaigns" not in B.render_markdown(replay_doc)
+
+    def test_regression_entries_handle_v4_keys(self, replay_doc):
+        legacy_key = B.row_key(replay_doc["rows"][0])[:-1]   # 7 elements
+        comparison = {"regressions": [
+            {"row": legacy_key, "old_mops": 2.0, "new_mops": 1.0,
+             "delta": -0.5}], "improvements": [], "unmatched": []}
+        md = B.render_markdown(replay_doc, comparison, "old")
+        assert "**REGRESSION**" in md
+
+
+class TestMergeServeRow:
+    def test_creates_a_fresh_valid_file(self, serve_row, tmp_path):
+        path = tmp_path / "BENCH_fresh.json"
+        merge_serve_row(serve_row, path)
+        doc = B.load_bench(path)
+        assert doc["schema"] == B.SCHEMA_ID
+        assert B.validate_bench(doc) == []
+        assert len(doc["rows"]) == 1
+
+    def test_remerge_replaces_not_duplicates(self, serve_row, tmp_path):
+        path = tmp_path / "BENCH_fresh.json"
+        merge_serve_row(serve_row, path)
+        merge_serve_row(dict(serve_row, mops=123.0), path)
+        doc = B.load_bench(path)
+        assert len(doc["rows"]) == 1
+        assert doc["rows"][0]["mops"] == 123.0
+
+    def test_merging_into_replay_doc_keeps_replay_rows(self, replay_doc,
+                                                       serve_row,
+                                                       tmp_path):
+        path = tmp_path / "BENCH_mixed.json"
+        B.write_bench(replay_doc, path)
+        merge_serve_row(serve_row, path)
+        doc = B.load_bench(path)
+        assert len(doc["rows"]) == len(replay_doc["rows"]) + 1
+        assert B.validate_bench(doc) == []
+        sources = [r.get("source") for r in doc["rows"]]
+        assert sources.count("serve") == 1

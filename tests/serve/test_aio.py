@@ -1,0 +1,169 @@
+"""The deterministic virtual-time async kernel (repro.serve.aio).
+
+The frontend's correctness arguments lean on this kernel's guarantees:
+FIFO ready order, timers firing in (when, arming-order), deadlines on
+queue waits, and HangError instead of a silent hang."""
+
+import pytest
+
+from repro.serve.aio import (TIMED_OUT, Future, HangError, Queue,
+                             QueueEmpty, QueueFull, VirtualLoop)
+
+
+class TestLoop:
+    def test_sleep_orders_by_virtual_time(self):
+        loop = VirtualLoop()
+        order = []
+
+        async def napper(name, steps):
+            await loop.sleep(steps)
+            order.append((name, loop.now))
+
+        async def main():
+            tasks = [loop.create_task(napper("a", 30)),
+                     loop.create_task(napper("b", 10)),
+                     loop.create_task(napper("c", 20))]
+            for t in tasks:
+                await t
+
+        loop.run_until_complete(main())
+        assert order == [("b", 10), ("c", 20), ("a", 30)]
+        assert loop.now == 30
+
+    def test_same_deadline_fires_in_arming_order(self):
+        loop = VirtualLoop()
+        fired = []
+        loop.call_at(5, fired.append, "first")
+        loop.call_at(5, fired.append, "second")
+
+        async def main():
+            await loop.sleep(6)
+
+        loop.run_until_complete(main())
+        assert fired == ["first", "second"]
+
+    def test_task_result_and_exception_propagate(self):
+        loop = VirtualLoop()
+
+        async def boom():
+            await loop.sleep(1)
+            raise ValueError("boom")
+
+        async def main():
+            task = loop.create_task(boom())
+            with pytest.raises(ValueError):
+                await task
+            return 42
+
+        assert loop.run_until_complete(main()) == 42
+
+    def test_deadlock_raises_hang_error(self):
+        loop = VirtualLoop()
+
+        async def main():
+            await Future(loop)          # nobody will ever resolve this
+
+        with pytest.raises(HangError, match="deadlock"):
+            loop.run_until_complete(main())
+
+    def test_max_steps_raises_hang_error(self):
+        loop = VirtualLoop()
+
+        async def spinner():
+            while True:
+                await loop.sleep(100)
+
+        async def main():
+            loop.create_task(spinner())
+            await Future(loop)
+
+        with pytest.raises(HangError, match="livelock"):
+            loop.run_until_complete(main(), max_steps=1000)
+
+    def test_determinism_two_runs_identical(self):
+        def run():
+            loop = VirtualLoop()
+            trace = []
+
+            async def worker(i):
+                await loop.sleep(i * 3 % 7)
+                trace.append((i, loop.now))
+
+            async def main():
+                tasks = [loop.create_task(worker(i)) for i in range(8)]
+                for t in tasks:
+                    await t
+
+            loop.run_until_complete(main())
+            return trace
+
+        assert run() == run()
+
+
+class TestQueue:
+    def test_fifo_and_nowait(self):
+        loop = VirtualLoop()
+        q = Queue(loop, maxsize=2)
+        q.put_nowait(1)
+        q.put_nowait(2)
+        with pytest.raises(QueueFull):
+            q.put_nowait(3)
+        assert q.get_nowait() == 1
+        assert q.get_nowait() == 2
+        with pytest.raises(QueueEmpty):
+            q.get_nowait()
+
+    def test_get_deadline_times_out(self):
+        loop = VirtualLoop()
+        q = Queue(loop)
+
+        async def main():
+            return await q.get(deadline=50)
+
+        assert loop.run_until_complete(main()) is TIMED_OUT
+        assert loop.now == 50
+
+    def test_get_wakes_on_put(self):
+        loop = VirtualLoop()
+        q = Queue(loop)
+
+        async def producer():
+            await loop.sleep(10)
+            q.put_nowait("item")
+
+        async def main():
+            loop.create_task(producer())
+            return await q.get(deadline=100)
+
+        assert loop.run_until_complete(main()) == "item"
+        assert loop.now == 10
+
+    def test_put_blocks_until_room_then_succeeds(self):
+        loop = VirtualLoop()
+        q = Queue(loop, maxsize=1)
+        q.put_nowait("old")
+
+        async def consumer():
+            await loop.sleep(20)
+            q.get_nowait()
+
+        async def main():
+            loop.create_task(consumer())
+            return await q.put("new", deadline=100)
+
+        assert loop.run_until_complete(main()) is True
+        assert q.get_nowait() == "new"
+
+    def test_put_deadline_returns_false_and_drops(self):
+        loop = VirtualLoop()
+        q = Queue(loop, maxsize=1)
+        q.put_nowait("old")
+
+        async def main():
+            return await q.put("new", deadline=30)
+
+        assert loop.run_until_complete(main()) is False
+        assert loop.now == 30
+        assert q.get_nowait() == "old"
+        with pytest.raises(QueueEmpty):
+            q.get_nowait()              # the timed-out item was not stored

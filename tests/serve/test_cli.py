@@ -1,0 +1,80 @@
+"""CLI surfacing of typed operational errors + the serve-bench command.
+
+Typed errors escaping any subcommand become one clean line on stderr
+and a distinct exit code (0/1/2 remain OK/gate-failure/usage), so
+scripts and CI can switch on *what* failed without parsing messages.
+"""
+
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.core.locks import LockTimeout
+from repro.core.pool import OutOfChunks
+from repro.serve.errors import Overloaded
+
+
+class TestTypedErrorExits:
+    @pytest.mark.parametrize("exc,code,label", [
+        (Overloaded("admission"), 4, "Overloaded"),
+        (LockTimeout(17, 250), 5, "LockTimeout"),
+        (OutOfChunks("pool exhausted", capacity=64), 6, "OutOfChunks"),
+    ])
+    def test_exit_code_and_one_line_message(self, monkeypatch, capsys,
+                                            exc, code, label):
+        def raiser(args):
+            raise exc
+        monkeypatch.setattr(cli, "cmd_demo", raiser)
+        assert cli.main(["demo"]) == code
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1           # one line, no traceback
+        assert err.startswith(f"repro: {label}: ")
+
+    def test_subclasses_map_to_the_base_code(self, monkeypatch, capsys):
+        from repro.chaos.serve_faults import ShardFrozen
+
+        def raiser(args):
+            raise ShardFrozen(2, 900)
+        monkeypatch.setattr(cli, "cmd_demo", raiser)
+        assert cli.main(["demo"]) == 5        # it is a LockTimeout
+        assert "frozen by chaos" in capsys.readouterr().err
+
+    def test_unlisted_exceptions_still_raise(self, monkeypatch):
+        def raiser(args):
+            raise KeyError("not an operational error")
+        monkeypatch.setattr(cli, "cmd_demo", raiser)
+        with pytest.raises(KeyError):
+            cli.main(["demo"])
+
+
+class TestServeBenchCommand:
+    def test_bad_mix_is_a_usage_error(self, capsys):
+        assert cli.main(["serve-bench", "--mix", "50", "50", "0", "10"]) == 2
+        assert "--mix" in capsys.readouterr().err
+
+    def test_smoke_run_writes_artifacts(self, tmp_path, capsys):
+        hist = tmp_path / "hist.json"
+        bench = tmp_path / "BENCH_serve.json"
+        code = cli.main([
+            "serve-bench", "--structure", "gfsl@2", "--requests", "150",
+            "--clients", "8", "--range", "512", "--rate", "800",
+            "--admit-rate", "400", "--seed", "11",
+            "--hist-out", str(hist), "--bench-out", str(bench)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "serve OK" in out
+        histogram = json.loads(hist.read_text())
+        assert sum(histogram["point_us"].values()) \
+            == histogram["point_samples"]
+        doc = json.loads(bench.read_text())
+        assert doc["schema"] == "repro-bench/5"
+        assert doc["rows"][0]["source"] == "serve"
+
+    def test_max_p99_gate_fails_closed(self, capsys):
+        code = cli.main([
+            "serve-bench", "--structure", "gfsl@2", "--requests", "150",
+            "--clients", "8", "--range", "512", "--rate", "800",
+            "--admit-rate", "400", "--seed", "11", "--max-p99", "0.5"])
+        assert code == 1
+        assert "exceeds the --max-p99 bound" in capsys.readouterr().err

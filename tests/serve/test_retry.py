@@ -1,0 +1,106 @@
+"""The shared RetryPolicy (repro.chaos.retry) and its lock-path wiring."""
+
+import pytest
+
+from repro.chaos.retry import RetryPolicy
+from repro.chaos.serve_faults import ShardFrozen
+from repro.chaos.watchdog import LivelockDetected
+from repro.core.locks import DEFAULT_LOCK_RETRY_LIMIT, LockTimeout, \
+    _retry_policy
+from repro.core.traversal import RestartStorm
+
+
+class TestBounds:
+    def test_allows_counts_attempts(self):
+        p = RetryPolicy(max_attempts=3)
+        assert p.allows(0) and p.allows(2)
+        assert not p.allows(3) and not p.allows(7)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_bounded_never_backs_off(self):
+        p = RetryPolicy.bounded(5)
+        assert p.max_attempts == 5
+        assert all(p.backoff_steps(n) == 0 for n in range(1, 10))
+
+
+class TestBackoff:
+    def test_exponential_growth_and_cap(self):
+        p = RetryPolicy(max_attempts=10, base_steps=100, multiplier=2.0,
+                        max_steps=500, jitter=0.0)
+        assert [p.backoff_steps(n) for n in (1, 2, 3, 4, 5)] == \
+            [100, 200, 400, 500, 500]
+
+    def test_jitter_is_seeded(self):
+        def draws(seed):
+            return [RetryPolicy(base_steps=100, seed=seed)
+                    .backoff_steps(n) for n in range(1, 6)]
+        a, b = draws(7), draws(7)
+        assert a == b
+        assert all(v >= 1 for v in a)
+        assert draws(7) != draws(8)
+
+    def test_jitter_stays_within_spread(self):
+        p = RetryPolicy(base_steps=1000, multiplier=1.0, jitter=0.25,
+                        seed=3)
+        for n in range(1, 50):
+            assert 750 <= p.backoff_steps(n) <= 1250
+
+
+class TestRetryable:
+    def test_default_kinds(self):
+        p = RetryPolicy()
+        assert p.is_retryable(LockTimeout(3, 9))
+        assert p.is_retryable(RestartStorm(10, 99, "traverse"))
+        assert p.is_retryable(ShardFrozen(1, 50))     # a LockTimeout
+        assert p.is_retryable(LivelockDetected("spinning"))
+        assert not p.is_retryable(ValueError("nope"))
+
+    def test_custom_tuple_and_callable(self):
+        p = RetryPolicy(retryable=(KeyError,))
+        assert p.is_retryable(KeyError("k"))
+        assert not p.is_retryable(LockTimeout(0, 1))
+        q = RetryPolicy(retryable=lambda exc: "yes" in str(exc))
+        assert q.is_retryable(RuntimeError("yes please"))
+        assert not q.is_retryable(RuntimeError("no"))
+
+
+class TestLockPathWiring:
+    """repro.core.locks delegates its attempt bound to a cached
+    RetryPolicy — one policy object per structure, rebuilt only when
+    the structure's ``lock_retry_limit`` changes."""
+
+    class _Structure:
+        pass
+
+    def test_policy_cached_per_structure(self):
+        sl = self._Structure()
+        sl.lock_retry_limit = 3
+        p = _retry_policy(sl)
+        assert p.max_attempts == 3
+        assert _retry_policy(sl) is p
+
+    def test_policy_rebuilt_when_limit_changes(self):
+        sl = self._Structure()
+        sl.lock_retry_limit = 3
+        p = _retry_policy(sl)
+        sl.lock_retry_limit = 8
+        q = _retry_policy(sl)
+        assert q is not p and q.max_attempts == 8
+        assert _retry_policy(sl) is q
+
+    def test_default_limit_matches_historic_constant(self):
+        sl = self._Structure()
+        assert _retry_policy(sl).max_attempts == DEFAULT_LOCK_RETRY_LIMIT
+
+    def test_lock_shape_is_pure_bound(self):
+        sl = self._Structure()
+        sl.lock_retry_limit = 4
+        p = _retry_policy(sl)
+        assert p.backoff_steps(1) == 0      # spinning teams never sleep
