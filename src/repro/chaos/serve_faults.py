@@ -69,6 +69,11 @@ class ServeChaosConfig:
                         int(self.freeze_steps)))
         return out
 
+    def frozen_shard_ids(self) -> tuple[int, ...]:
+        """Shards frozen at any point in the plan (for healthy-shard
+        latency slices in bench reports)."""
+        return tuple(sorted({s for s, _a, _n in self.windows()}))
+
     @property
     def any_faults(self) -> bool:
         return bool(self.bursts or self.stalled_clients or self.windows())

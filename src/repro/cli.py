@@ -338,7 +338,15 @@ def cmd_serve_bench(args) -> int:
         admit_burst=args.admit_burst,
         breaker_threshold=args.breaker_threshold,
         breaker_reset_steps=args.breaker_reset_steps,
+        adaptive=args.adaptive, target_p99=args.target_p99,
+        control_interval=args.control_interval,
+        min_window=args.min_window, max_window=args.max_window,
         retry_attempts=args.retries, check=not args.no_check)
+    if args.adaptive and cfg.admit_rate is None:
+        print("serve-bench: --adaptive needs a positive --admit-rate "
+              "(the controller adjusts the admission budget)",
+              file=sys.stderr)
+        return 2
 
     report = run_serve_campaign(cfg)
     print(report.summary())
@@ -354,13 +362,37 @@ def cmd_serve_bench(args) -> int:
         row = serve_bench_row(cfg, report)
         merge_serve_row(row, args.bench_out)
         print(f"wrote serve row into {args.bench_out}")
+    if args.ctrl_out is not None:
+        Path(args.ctrl_out).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.ctrl_out, "w") as fh:
+            json.dump({"seed": load.seed, "adaptive": cfg.adaptive,
+                       "target_p99_us": cfg.target_p99,
+                       "shard_rates": report.shard_rates,
+                       "shard_windows": report.shard_windows,
+                       "timeline": report.ctrl_timeline}, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {args.ctrl_out}")
 
     if not report.ok:
+        return 1
+    st = report.stats
+    if st.terminated != st.submitted:
+        print(f"serve-bench: {st.submitted - st.terminated} of "
+              f"{st.submitted} submitted requests never terminated",
+              file=sys.stderr)
         return 1
     if args.max_p99 is not None and report.p99_us is not None \
             and report.p99_us > args.max_p99:
         print(f"serve-bench: p99 {report.p99_us:.0f}us exceeds the "
               f"--max-p99 bound of {args.max_p99:.0f}us", file=sys.stderr)
+        return 1
+    if args.max_healthy_p99 is not None \
+            and report.healthy_p99_us is not None \
+            and report.healthy_p99_us > args.max_healthy_p99:
+        print(f"serve-bench: healthy-shard p99 "
+              f"{report.healthy_p99_us:.0f}us exceeds the "
+              f"--max-healthy-p99 bound of {args.max_healthy_p99:.0f}us",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -550,6 +582,21 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--admit-burst", type=float, default=64.0)
     pv.add_argument("--breaker-threshold", type=int, default=3)
     pv.add_argument("--breaker-reset-steps", type=int, default=400)
+    pv.add_argument("--adaptive", action="store_true",
+                    help="enable the elasticity controller: per-shard "
+                    "AIMD admission against --target-p99, load-adaptive "
+                    "coalesce windows, idle-token rebalancing")
+    pv.add_argument("--target-p99", type=float, default=150.0,
+                    help="adaptive: per-shard p99 latency setpoint in "
+                    "µs (default 150)")
+    pv.add_argument("--control-interval", type=int, default=200,
+                    help="adaptive: control period in steps")
+    pv.add_argument("--min-window", type=int, default=None,
+                    help="adaptive: idle coalesce window floor (steps; "
+                    "default coalesce-steps/6)")
+    pv.add_argument("--max-window", type=int, default=None,
+                    help="adaptive: saturated coalesce window cap "
+                    "(steps; default 4x coalesce-steps)")
     pv.add_argument("--retries", type=int, default=4,
                     help="max flush attempts per batch")
     pv.add_argument("--bursts", type=int, default=0,
@@ -564,13 +611,19 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--max-p99", type=float, default=None,
                     help="gate: fail if admitted point-op p99 (µs) "
                     "exceeds this")
+    pv.add_argument("--max-healthy-p99", type=float, default=None,
+                    help="gate: fail if the non-frozen-shard p99 (µs) "
+                    "exceeds this")
     pv.add_argument("--no-check", action="store_true",
                     help="skip the linearizability/invariant audit")
     pv.add_argument("--hist-out", default=None,
                     help="write the latency histogram JSON here")
     pv.add_argument("--bench-out", default=None,
-                    help="write/merge a schema-v5 serve row into this "
+                    help="write/merge a schema-v6 serve row into this "
                     "BENCH_*.json file")
+    pv.add_argument("--ctrl-out", default=None,
+                    help="write the controller rate/window/occupancy "
+                    "time series JSON here (CI artifact)")
     pv.set_defaults(func=cmd_serve_bench)
     return p
 

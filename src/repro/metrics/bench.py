@@ -54,6 +54,14 @@ of the row identity, so the regression gate never compares a serve row
 against a replay row.  Serve rows additionally carry per-request
 latency percentiles ``p50_us``/``p99_us`` (step clock, 1 step = 1 µs)
 and the ``rejected``/``shed``/``retries`` robustness counters.
+Schema v6 adds the ``adaptive`` row dimension (elasticity controller
+on/off; missing reads as ``false``, so v5 baselines keep matching, and
+static vs adaptive runs of one campaign are distinct rows) plus, on
+serve rows, the controller columns ``target_p99_us``,
+``healthy_p99_us`` (p99 over non-chaos-frozen shards), and the final
+per-shard ``shard_rates`` (tokens/kstep) / ``shard_windows`` (steps) —
+validated when present, so v5 serve rows migrated into a v6 file stay
+valid.
 """
 
 from __future__ import annotations
@@ -67,7 +75,7 @@ from pathlib import Path
 from .counters import MetricsCollector
 from .spans import SpanTracer, merge_chrome
 
-SCHEMA_ID = "repro-bench/5"
+SCHEMA_ID = "repro-bench/6"
 BENCH_GLOB = "BENCH_*.json"
 _BENCH_RE = re.compile(r"^BENCH_.*\.json$")
 
@@ -90,16 +98,23 @@ ROW_SOURCES = ("replay", "serve")
 #: Extra numeric fields serve-mode rows must carry.
 _SERVE_NUMBERS = ("p50_us", "p99_us")
 _SERVE_COUNTS = ("rejected", "shed", "retries")
+#: v6 controller fields — validated only when present (v5 serve rows
+#: migrated into a v6 file carry none of them).
+_SERVE_V6_NUMBERS = ("target_p99_us", "healthy_p99_us")
+_SERVE_V6_LISTS = ("shard_rates", "shard_windows")
 
 
 def row_key(row: dict) -> tuple:
     """The identity a row is matched on across BENCH files (``shards``
-    defaults to 1, ``distribution`` to "uniform", and ``source`` to
-    "replay" so schema-v1/v3/v4 rows keep matching — and serve rows
-    never pair with replay rows in the regression gate)."""
+    defaults to 1, ``distribution`` to "uniform", ``adaptive`` to
+    False, and ``source`` to "replay" so schema-v1/v3/v4/v5 rows keep
+    matching — serve rows never pair with replay rows in the
+    regression gate, and adaptive campaigns never pair with static
+    ones).  ``source`` stays last."""
     return (row["structure"], row["backend"], row["mixture"],
             row["key_range"], row["n_ops"], row.get("shards", 1),
             row.get("distribution", "uniform"),
+            bool(row.get("adaptive", False)),
             row.get("source", "replay"))
 
 
@@ -243,6 +258,22 @@ def validate_bench(doc) -> list[str]:
                         or value < 0:
                     errors.append(f"{where}.{key} must be a non-negative "
                                   f"integer (required on serve rows)")
+            if "adaptive" in row and not isinstance(row["adaptive"], bool):
+                errors.append(f"{where}.adaptive must be a boolean")
+            for key in _SERVE_V6_NUMBERS:
+                if key in row and (not isinstance(row[key], (int, float))
+                                   or isinstance(row[key], bool)):
+                    errors.append(f"{where}.{key} must be a number")
+            for key in _SERVE_V6_LISTS:
+                if key not in row:
+                    continue
+                value = row[key]
+                if (not isinstance(value, list) or not value
+                        or not all(isinstance(v, (int, float))
+                                   and not isinstance(v, bool)
+                                   for v in value)):
+                    errors.append(f"{where}.{key} must be a non-empty "
+                                  f"list of numbers")
         if not isinstance(row.get("counters"), dict):
             errors.append(f"{where}.counters must be an object")
         elif not all(isinstance(v, int) and not isinstance(v, bool)
@@ -357,15 +388,20 @@ def render_markdown(doc: dict, comparison: dict | None = None,
         lines.append("")
         lines.append("## Serve campaigns (request-path latency)")
         lines.append("")
-        lines.append("| structure | backend | mixture | dist | p50 µs | "
-                     "p99 µs | rejected | shed | retries |")
-        lines.append("|" + "---|" * 9)
+        lines.append("| structure | backend | mixture | dist | mode | "
+                     "p50 µs | p99 µs | healthy p99 µs | rejected | shed | "
+                     "retries |")
+        lines.append("|" + "---|" * 11)
         for row in serve_rows:
+            mode = ("adaptive" if row.get("adaptive", False) else "static")
+            healthy = row.get("healthy_p99_us")
             lines.append(
                 f"| {row['structure']} | {row['backend']} "
                 f"| {row['mixture']} "
                 f"| {row.get('distribution', 'uniform')} "
+                f"| {mode} "
                 f"| {row['p50_us']:.0f} | {row['p99_us']:.0f} "
+                f"| {'-' if healthy is None else f'{healthy:.0f}'} "
                 f"| {row['rejected']} | {row['shed']} "
                 f"| {row['retries']} |")
     if comparison is not None:
@@ -378,9 +414,10 @@ def render_markdown(doc: dict, comparison: dict | None = None,
             lines.append("No regressions.")
 
         def cell_name(key):
-            s, b, m, kr, n, sh, dist, src = _pad_row_key(key)
+            s, b, m, kr, n, sh, dist, adaptive, src = _pad_row_key(key)
             return (f"{s}/{b}" + (f" x{sh}" if sh != 1 else "")
                     + (f" {dist}" if dist != "uniform" else "")
+                    + (" adaptive" if adaptive else "")
                     + (f" [{src}]" if src != "replay" else ""), m, kr)
         for entry in regs:
             cell, m, kr = cell_name(entry["row"])
@@ -398,10 +435,14 @@ def render_markdown(doc: dict, comparison: dict | None = None,
 
 
 def _pad_row_key(key) -> tuple:
-    """Pad a possibly pre-v5 7-element row identity to the v5 shape."""
+    """Pad a possibly pre-v6 row identity to the v6 9-element shape
+    (pre-v5 keys lack ``source``; v5 keys lack ``adaptive``, which
+    slots in just before the trailing ``source``)."""
     key = tuple(key)
     if len(key) == 7:
         key = key + ("replay",)
+    if len(key) == 8:
+        key = key[:7] + (False,) + key[7:]
     return key
 
 

@@ -19,6 +19,8 @@ from .aio import (TIMED_OUT, Future, HangError, Queue, QueueEmpty,
 from .bench import (ServeCampaignConfig, ServeReport, latency_histogram,
                     merge_serve_row, run_serve_campaign, serve_bench_row)
 from .breaker import CircuitBreaker
+from .controller import (ControllerConfig, ElasticityController,
+                         derive_controller)
 from .errors import CircuitOpen, DeadlineExceeded, Overloaded, ServeError
 from .frontend import ServeFrontend
 from .loadgen import (LoadConfig, LoadPlan, PlannedRequest, build_plan,
@@ -31,6 +33,7 @@ __all__ = [
     "HangError", "TIMED_OUT",
     "ServeError", "Overloaded", "DeadlineExceeded", "CircuitOpen",
     "TokenBucket", "CircuitBreaker",
+    "ControllerConfig", "ElasticityController", "derive_controller",
     "Request", "ClientState", "ServeStats", "percentile",
     "GET", "PUT", "DELETE", "RANGE", "KINDS",
     "ServeFrontend",

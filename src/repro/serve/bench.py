@@ -53,6 +53,11 @@ class ServeCampaignConfig:
     backpressure_steps: int = 400
     breaker_threshold: int = 3
     breaker_reset_steps: int = 1500
+    adaptive: bool = False               # elasticity controller on/off
+    target_p99: float = 150.0            # AIMD latency setpoint (µs)
+    control_interval: int = 200          # controller period (steps)
+    min_window: int | None = None        # idle coalesce window floor
+    max_window: int | None = None        # saturated window ceiling
     retry_attempts: int = 4
     retry_base_steps: int = 32
     check: bool = True
@@ -73,6 +78,12 @@ class ServeReport:
     p50_us: float | None = None
     p99_us: float | None = None
     range_p99_us: float | None = None
+    #: p99 over shards never chaos-frozen (equals p99_us faultless).
+    healthy_p99_us: float | None = None
+    shard_p99_us: dict = field(default_factory=dict)
+    shard_rates: list = field(default_factory=list)
+    shard_windows: list = field(default_factory=list)
+    ctrl_timeline: list = field(default_factory=list)
     wall_seconds: float = 0.0
     transactions: int = 0
     l2_hit_rate: float = 0.0
@@ -102,8 +113,18 @@ class ServeReport:
         if self.p50_us is not None:
             rng = ("-" if self.range_p99_us is None
                    else f"{self.range_p99_us:.0f}us")
+            healthy = ("" if self.healthy_p99_us is None
+                       else f" · healthy-shard p99={self.healthy_p99_us:.0f}us")
             lines.append(f"  point latency p50={self.p50_us:.0f}us "
-                         f"p99={self.p99_us:.0f}us · range p99={rng}")
+                         f"p99={self.p99_us:.0f}us · range p99={rng}"
+                         + healthy)
+        if cfg.adaptive and self.shard_rates:
+            rates = "/".join(f"{r:.0f}" for r in self.shard_rates)
+            windows = "/".join(str(w) for w in self.shard_windows)
+            lines.append(f"  controller: ticks={st.ctrl_ticks} "
+                         f"ups={st.ctrl_rate_ups} downs={st.ctrl_rate_downs} "
+                         f"rebalances={st.ctrl_rebalances} · final "
+                         f"rates=[{rates}]/kstep windows=[{windows}]steps")
         if self.hung is not None:
             lines.append(f"  HANG: {self.hung}")
         if self.unresolved:
@@ -148,6 +169,9 @@ def run_serve_campaign(cfg: ServeCampaignConfig) -> ServeReport:
         backpressure_steps=cfg.backpressure_steps,
         breaker_threshold=cfg.breaker_threshold,
         breaker_reset_steps=cfg.breaker_reset_steps,
+        adaptive=cfg.adaptive, target_p99=cfg.target_p99,
+        control_interval=cfg.control_interval,
+        min_window=cfg.min_window, max_window=cfg.max_window,
         retry=retry, recorder=recorder, faults=injector, metrics=metrics)
 
     clients = make_clients(loop, cfg.load)
@@ -191,6 +215,19 @@ def run_serve_campaign(cfg: ServeCampaignConfig) -> ServeReport:
     report.p99_us = percentile(st.point_latencies, 0.99)
     report.range_p99_us = percentile(st.range_latencies, 0.99)
 
+    snap = frontend.controller_snapshot()
+    report.shard_rates = snap["rates"]
+    report.shard_windows = snap["windows"]
+    if frontend.controller is not None:
+        report.ctrl_timeline = frontend.controller.timeline
+    frozen = (set(cfg.chaos.frozen_shard_ids())
+              if cfg.chaos is not None else set())
+    healthy = [lat for sid, lats in sorted(st.shard_latencies.items())
+               if sid not in frozen for lat in lats]
+    report.healthy_p99_us = percentile(healthy, 0.99)
+    report.shard_p99_us = {sid: percentile(lats, 0.99)
+                           for sid, lats in sorted(st.shard_latencies.items())}
+
     if cfg.check and hung is None:
         lin = check_history(recorder, initial, set(structure.keys()))
         report.linearizable = lin.ok
@@ -225,8 +262,10 @@ def latency_histogram(stats: ServeStats) -> dict:
 
 
 def serve_bench_row(cfg: ServeCampaignConfig, report: ServeReport) -> dict:
-    """A schema-v5 BENCH row for one serve campaign (``source:
-    "serve"`` keeps it out of replay-row regression comparisons)."""
+    """A schema-v6 BENCH row for one serve campaign (``source:
+    "serve"`` keeps it out of replay-row regression comparisons;
+    ``adaptive`` is part of the row identity so static and adaptive
+    runs of the same campaign coexist in one file)."""
     st = report.stats
     load = cfg.load
     model_seconds = report.total_steps * 1e-6     # 1 step = 1 µs
@@ -266,6 +305,12 @@ def serve_bench_row(cfg: ServeCampaignConfig, report: ServeReport) -> dict:
         "rejected": st.rejected,
         "shed": st.shed,
         "retries": st.retries,
+        "adaptive": bool(cfg.adaptive),
+        "target_p99_us": float(cfg.target_p99),
+        "healthy_p99_us": (report.healthy_p99_us
+                           if report.healthy_p99_us is not None else 0.0),
+        "shard_rates": list(report.shard_rates),
+        "shard_windows": list(report.shard_windows),
         "counters": counters,
     }
 

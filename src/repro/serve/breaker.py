@@ -7,6 +7,15 @@ targeting the shard and queued flushes fail fast with a typed
 growth behind the wedge).  After ``reset_steps`` the next flush runs as
 a half-open probe: success closes the breaker, failure re-opens it for
 another full window.
+
+The probe is *exclusive*.  Once ``reset_steps`` elapse, the submit path
+admits exactly one request — the probe carrier — and keeps failing the
+rest fast until :meth:`CircuitBreaker.record_success` closes the
+breaker (or the probe fails and re-arms the window).  Without that
+gate, every submission arriving after ``retry_at`` would be admitted
+while the shard is still OPEN/HALF_OPEN: a thundering herd queues
+behind the single probe flush and re-wedges the shard the moment the
+probe resolves.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ class CircuitBreaker:
         self.failures = 0
         self.opened_at = -1
         self.opens = 0
+        self.probe_inflight = False
 
     @property
     def retry_at(self) -> int:
@@ -41,18 +51,28 @@ class CircuitBreaker:
         if self.state == OPEN:
             if now >= self.retry_at:
                 self.state = HALF_OPEN
+                self.probe_inflight = True
                 return True
             return False
         return True                      # half-open: the probe runs
 
     def admits(self, now: int) -> bool:
-        """Pure read for the submit path: reject new work for a shard
-        that is open with its reset window still running."""
-        return not (self.state == OPEN and now < self.retry_at)
+        """Submit-path gate: reject new work for a shard that is not
+        CLOSED — except for exactly one post-window submission, which
+        is admitted as the probe carrier (claiming the probe slot, so
+        this is a gate, not a pure read).  Everything else fails fast
+        until :meth:`record_success` resolves the probe."""
+        if self.state == CLOSED:
+            return True
+        if now < self.retry_at or self.probe_inflight:
+            return False
+        self.probe_inflight = True
+        return True
 
     def record_success(self) -> None:
         self.state = CLOSED
         self.failures = 0
+        self.probe_inflight = False
 
     def record_failure(self, now: int) -> None:
         self.failures += 1
@@ -62,3 +82,4 @@ class CircuitBreaker:
             self.state = OPEN
             self.opened_at = int(now)
             self.failures = 0
+            self.probe_inflight = False

@@ -22,6 +22,15 @@ step clock: before a flush the tracer clock is advanced to virtual
 "now", the backend then advances it per wave, and the loop absorbs the
 device time back — so queueing delay and device time land on one
 timeline (1 step = 1 µs).
+
+With ``adaptive=True`` the static knobs become setpoints for an
+:class:`~repro.serve.controller.ElasticityController`: per-shard token
+buckets steered by AIMD against ``target_p99``, coalesce windows (and
+the matching batch-size cap) tracking queue backlog, and rebalancing
+grants that move a wedged shard's unused budget to healthy shards.
+The controller is ticked from the submit/flush paths on the virtual
+clock (never from wall time), and each tick lands a ``ctrl-s<sid>``
+span plus a timeline entry in the metrics layer.
 """
 
 from __future__ import annotations
@@ -38,7 +47,8 @@ from ..metrics import MetricsCollector
 from ..metrics.spans import SpanTracer
 from .admission import TokenBucket
 from .aio import TIMED_OUT, Future, Queue, QueueFull, VirtualLoop
-from .breaker import CircuitBreaker
+from .breaker import OPEN, CircuitBreaker
+from .controller import ElasticityController, derive_controller
 from .errors import CircuitOpen, DeadlineExceeded, Overloaded
 from .request import HISTORY_OP, OP_CODE, RANGE, Request, ServeStats
 
@@ -59,6 +69,10 @@ class ServeFrontend:
                  shed_occupancy: float = 0.5, range_reserve: float = 0.25,
                  backpressure_steps: int = 400,
                  breaker_threshold: int = 4, breaker_reset_steps: int = 2000,
+                 adaptive: bool = False, target_p99: float = 150.0,
+                 control_interval: int = 200,
+                 min_window: int | None = None,
+                 max_window: int | None = None,
                  retry: RetryPolicy | None = None,
                  recorder: HistoryRecorder | None = None,
                  faults=None, metrics: MetricsCollector | None = None):
@@ -86,10 +100,33 @@ class ServeFrontend:
         self._queues = [Queue(loop, queue_depth)
                         for _ in range(self.n_shards)]
         self._rqueue = Queue(loop, range_depth)
-        self.bucket = TokenBucket(admit_rate, admit_burst, now=loop.now)
         self.breakers = [CircuitBreaker(breaker_threshold,
                                         breaker_reset_steps)
                          for _ in range(self.n_shards)]
+
+        # Admission: one shared bucket (static), or one per shard under
+        # the elasticity controller (adaptive; needs a finite rate to
+        # steer).  ``buckets[sid]`` is the submit-path view either way.
+        self.adaptive = bool(adaptive) and admit_rate is not None
+        self.controller: ElasticityController | None = None
+        self._occ_hwm = [0] * self.n_shards
+        if self.adaptive:
+            cfg = derive_controller(admit_rate, self.n_shards,
+                                    self.coalesce_steps,
+                                    target_p99=target_p99,
+                                    interval=control_interval,
+                                    min_window=min_window,
+                                    max_window=max_window)
+            self.controller = ElasticityController(
+                self.n_shards, admit_rate, cfg, now=loop.now)
+            share = admit_rate / self.n_shards
+            burst = max(1.0, admit_burst / self.n_shards)
+            self.bucket = None
+            self.buckets = [TokenBucket(share, burst, now=loop.now)
+                            for _ in range(self.n_shards)]
+        else:
+            self.bucket = TokenBucket(admit_rate, admit_burst, now=loop.now)
+            self.buckets = [self.bucket] * self.n_shards
 
         if metrics is None:
             metrics = MetricsCollector(spans=SpanTracer())
@@ -133,13 +170,70 @@ class ServeFrontend:
         self._tasks = []
         self._started = False
 
+    # -- the elasticity controller ----------------------------------------
+    def _maybe_tick(self) -> None:
+        """Run a control period if the virtual clock crossed the next
+        boundary.  Called from the submit and flush paths only, so the
+        tick sequence is a pure function of the seeded campaign."""
+        ctrl, now = self.controller, self.loop.now
+        if ctrl is None or not ctrl.due(now):
+            return
+        depth = max(1, self.queue_depth)
+        occupancies = [hwm / depth for hwm in self._occ_hwm]
+        breaker_open = [b.state == OPEN for b in self.breakers]
+        delta = ctrl.tick(now, occupancies, breaker_open)
+        for sid, rate in enumerate(ctrl.effective_rates):
+            self.buckets[sid].set_rate(rate, now)
+        self._occ_hwm = [q.qsize() for q in self._queues]
+        st = self.stats
+        st.ctrl_ticks += 1
+        st.ctrl_rate_ups += delta["ups"]
+        st.ctrl_rate_downs += delta["downs"]
+        st.ctrl_rebalances += delta["rebalanced"]
+        spans = self.metrics.spans
+        if spans is not None:
+            start = now - ctrl.cfg.interval
+            for sid in range(self.n_shards):
+                spans.add(f"ctrl-s{sid}", start, ctrl.cfg.interval,
+                          track=-2 - sid,
+                          rate=round(ctrl.effective_rates[sid], 2),
+                          window=ctrl.windows[sid],
+                          occupancy=round(occupancies[sid], 3))
+
+    def window_of(self, sid: int) -> int:
+        """Current coalesce window for one shard's dispatcher."""
+        if self.controller is not None:
+            return self.controller.windows[sid]
+        return self.coalesce_steps
+
+    def batch_cap(self, sid: int) -> int:
+        """Flush size cap, scaled with the adaptive window so widening
+        under load really produces bigger (cheap, §13) flushes."""
+        if self.controller is not None:
+            scale = self.window_of(sid) / max(1, self.coalesce_steps)
+            return max(1, min(4 * self.coalesce_size,
+                              int(round(self.coalesce_size * scale))))
+        return self.coalesce_size
+
+    def controller_snapshot(self) -> dict:
+        """Final per-shard rates/windows — bench-row v6 material.  In
+        static mode every shard reports the shared bucket's rate and
+        the fixed window."""
+        if self.controller is not None:
+            return self.controller.snapshot()
+        rate = self.bucket.rate_per_kstep
+        return {"rates": [0.0 if rate is None else round(rate, 3)
+                          for _ in range(self.n_shards)],
+                "windows": [self.coalesce_steps] * self.n_shards,
+                "ticks": 0}
+
     # -- admission (the submit path) --------------------------------------
-    def _overloaded_for_ranges(self) -> bool:
+    def _overloaded_for_ranges(self, sid: int) -> bool:
         if self.queue_depth > 0:
             occ = max(q.qsize() for q in self._queues) / self.queue_depth
             if occ >= self.shed_occupancy:
                 return True
-        return self.bucket.level(self.loop.now) < self.range_reserve
+        return self.buckets[sid].level(self.loop.now) < self.range_reserve
 
     def _reject(self, req: Request, exc) -> None:
         st = self.stats
@@ -159,6 +253,7 @@ class ServeFrontend:
         :class:`DeadlineExceeded`, or a typed structure fault — never
         hangs."""
         loop, st = self.loop, self.stats
+        self._maybe_tick()
         req.submit_step = loop.now
         req.future = Future(loop)
         st.submitted += 1
@@ -177,23 +272,23 @@ class ServeFrontend:
             self._reject(req, Overloaded("client-inflight"))
             return req.future
 
+        sid = self.shard_of(req.key)
         if req.kind == RANGE:
-            if self._overloaded_for_ranges():
+            if self._overloaded_for_ranges(sid):
                 self._reject(req, Overloaded("shed-range"))
                 return req.future
-            if not self.bucket.take(loop.now):
+            if not self.buckets[sid].take(loop.now):
                 self._reject(req, Overloaded("admission"))
                 return req.future
             queue = self._rqueue
         else:
-            sid = self.shard_of(req.key)
             breaker = self.breakers[sid]
             if not breaker.admits(loop.now):
                 st.breaker_fastfail += 1
                 st.note_reason("breaker")
                 req.future.set_exception(CircuitOpen(sid, breaker.retry_at))
                 return req.future
-            if not self.bucket.take(loop.now):
+            if not self.buckets[sid].take(loop.now):
                 self._reject(req, Overloaded("admission"))
                 return req.future
             queue = self._queues[sid]
@@ -214,6 +309,8 @@ class ServeFrontend:
 
         st.admitted += 1
         self.outstanding += 1
+        if queue is not self._rqueue:
+            self._occ_hwm[sid] = max(self._occ_hwm[sid], queue.qsize())
         if client is not None:
             client.inflight += 1
         return req.future
@@ -247,9 +344,9 @@ class ServeFrontend:
             if first is _STOP:
                 return
             batch = [first]
-            flush_at = self.loop.now + self.coalesce_steps
+            flush_at = self.loop.now + self.window_of(sid)
             stop = False
-            while len(batch) < self.coalesce_size:
+            while len(batch) < self.batch_cap(sid):
                 nxt = await queue.get(deadline=flush_at)
                 if nxt is TIMED_OUT:
                     break
@@ -337,9 +434,12 @@ class ServeFrontend:
                     if self.recorder is not None:
                         self.recorder.record(HISTORY_OP[r.kind], r.key,
                                              result, r.submit_step, end)
-                    st.point_latencies.append(end - r.submit_step)
+                    st.note_latency(sid, end - r.submit_step)
                     st.completed += 1
+                    if self.controller is not None:
+                        self.controller.observe(sid, end - r.submit_step)
                     self._resolve(r, result=result)
+                self._maybe_tick()
                 return
 
             was_open = breaker.state
@@ -358,6 +458,7 @@ class ServeFrontend:
             st.note_reason(type(err).__name__)
             for r in reqs:
                 self._resolve(r, exc=err)
+            self._maybe_tick()
             return
 
     # -- the range lane ---------------------------------------------------

@@ -10,6 +10,7 @@ first thing the degradation ladder sheds.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..engine.batch import OP_CONTAINS, OP_DELETE, OP_INSERT
@@ -83,12 +84,23 @@ class ServeStats:
     flushes: int = 0
     flushed_ops: int = 0
     gen_ops: int = 0              # generator-fallback ops inside flushes
+    ctrl_ticks: int = 0           # elasticity-controller control periods
+    ctrl_rate_ups: int = 0        # per-shard additive rate increases
+    ctrl_rate_downs: int = 0      # per-shard multiplicative back-offs
+    ctrl_rebalances: int = 0      # ticks that re-granted idle tokens
     reasons: dict = field(default_factory=dict)
     point_latencies: list = field(default_factory=list)
     range_latencies: list = field(default_factory=list)
+    #: Per-shard completed point latencies (shard id → list of steps),
+    #: the healthy-shard-p99 material for frozen-shard campaigns.
+    shard_latencies: dict = field(default_factory=dict)
 
     def note_reason(self, reason: str) -> None:
         self.reasons[reason] = self.reasons.get(reason, 0) + 1
+
+    def note_latency(self, sid: int, steps: int) -> None:
+        self.point_latencies.append(steps)
+        self.shard_latencies.setdefault(sid, []).append(steps)
 
     @property
     def terminated(self) -> int:
@@ -113,6 +125,10 @@ class ServeStats:
             "flushes": self.flushes,
             "flushed_ops": self.flushed_ops,
             "gen_ops": self.gen_ops,
+            "ctrl_ticks": self.ctrl_ticks,
+            "ctrl_rate_ups": self.ctrl_rate_ups,
+            "ctrl_rate_downs": self.ctrl_rate_downs,
+            "ctrl_rebalances": self.ctrl_rebalances,
         }
         for reason, n in sorted(self.reasons.items()):
             out[f"reject_{reason.replace('-', '_')}"] = n
@@ -120,10 +136,17 @@ class ServeStats:
 
 
 def percentile(samples: list, q: float) -> float | None:
-    """Nearest-rank percentile (deterministic, no interpolation);
-    None on an empty sample set."""
+    """Nearest-rank percentile (deterministic, no interpolation):
+    the ``ceil(q*n)``-th smallest sample, i.e. the smallest value with
+    at least a ``q`` fraction of the samples at or below it.  None on
+    an empty sample set.
+
+    The rank is ``ceil``, never ``round``: banker's rounding over
+    ``q*(n-1)`` under-reports the tail on small sample sets (e.g. p99
+    of 60 samples picked the 59th-of-60 value instead of the max)."""
     if not samples:
         return None
     ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
-    return float(ordered[rank])
+    n = len(ordered)
+    rank = min(n, max(1, math.ceil(q * n)))
+    return float(ordered[rank - 1])

@@ -15,7 +15,7 @@ from repro.serve import (LoadConfig, ServeCampaignConfig, latency_histogram,
 CANONICAL_SEED = 20260808
 
 
-def overload_config(n_requests=800, seed=CANONICAL_SEED):
+def overload_config(n_requests=800, seed=CANONICAL_SEED, adaptive=False):
     load = LoadConfig(n_requests=n_requests, n_clients=16, key_range=1024,
                       mix=(25, 10, 60, 5), rate=2400.0,
                       deadline_steps=3000, distribution="zipf", seed=seed)
@@ -27,12 +27,25 @@ def overload_config(n_requests=800, seed=CANONICAL_SEED):
         coalesce_size=32, coalesce_steps=150, queue_depth=128,
         admit_rate=600.0, admit_burst=64.0,
         breaker_threshold=3, breaker_reset_steps=400,
+        adaptive=adaptive,
         retry_attempts=4, retry_base_steps=32)
 
 
 @pytest.fixture(scope="module")
 def report():
     return run_serve_campaign(overload_config())
+
+
+@pytest.fixture(scope="module")
+def full_reports():
+    """Full-length canonical pair: the 800-request mini campaign ends
+    before the step-400 freeze, so the adaptive-vs-static comparison
+    needs the real horizon (several control periods across the frozen
+    window)."""
+    static = run_serve_campaign(overload_config(n_requests=4000))
+    adaptive = run_serve_campaign(overload_config(n_requests=4000,
+                                                  adaptive=True))
+    return static, adaptive
 
 
 class TestCanonicalOverload:
@@ -77,6 +90,53 @@ class TestCanonicalOverload:
     def test_summary_mentions_the_verdict(self, report):
         s = report.summary()
         assert "serve OK" in s and "p99=" in s
+
+
+class TestAdaptiveBeatsStatic:
+    """The elasticity acceptance shape: same seed, same offered load,
+    same frozen shard — the controller must strictly improve both the
+    healthy-shard tail and the goodput over the static ladder."""
+
+    def test_adaptive_campaign_is_ok(self, full_reports):
+        _static, adaptive = full_reports
+        assert adaptive.ok, adaptive.summary()
+        st = adaptive.stats
+        assert st.terminated == st.submitted
+        assert adaptive.linearizable is True
+
+    def test_controller_actually_ran(self, full_reports):
+        _static, adaptive = full_reports
+        st = adaptive.stats
+        assert st.ctrl_ticks > 0
+        assert st.ctrl_rate_ups + st.ctrl_rate_downs > 0
+        assert st.ctrl_rebalances >= 1          # frozen shard donated
+        assert len(adaptive.ctrl_timeline) == 4 * st.ctrl_ticks
+        assert len(adaptive.shard_rates) == 4
+        assert len(adaptive.shard_windows) == 4
+
+    def test_healthy_shard_p99_strictly_better(self, full_reports):
+        static, adaptive = full_reports
+        assert static.healthy_p99_us is not None
+        assert adaptive.healthy_p99_us is not None
+        assert adaptive.healthy_p99_us < static.healthy_p99_us, (
+            adaptive.healthy_p99_us, static.healthy_p99_us)
+
+    def test_goodput_strictly_better(self, full_reports):
+        static, adaptive = full_reports
+        assert adaptive.stats.completed > static.stats.completed
+
+    def test_summary_shows_controller_state(self, full_reports):
+        _static, adaptive = full_reports
+        s = adaptive.summary()
+        assert "controller:" in s and "healthy-shard p99=" in s
+
+    def test_adaptive_is_deterministic(self):
+        one = run_serve_campaign(overload_config(adaptive=True))
+        two = run_serve_campaign(overload_config(adaptive=True))
+        assert one.stats.counters() == two.stats.counters()
+        assert one.shard_rates == two.shard_rates
+        assert one.shard_windows == two.shard_windows
+        assert one.ctrl_timeline == two.ctrl_timeline
 
 
 class TestDeterminism:

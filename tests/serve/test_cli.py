@@ -68,7 +68,7 @@ class TestServeBenchCommand:
         assert sum(histogram["point_us"].values()) \
             == histogram["point_samples"]
         doc = json.loads(bench.read_text())
-        assert doc["schema"] == "repro-bench/5"
+        assert doc["schema"] == "repro-bench/6"
         assert doc["rows"][0]["source"] == "serve"
 
     def test_max_p99_gate_fails_closed(self, capsys):
