@@ -2,10 +2,13 @@
 """A concurrent priority queue on GFSL (the Shavit–Lotan construction).
 
 The paper's introduction cites skiplist-based priority queues [SL00] as
-a motivating application.  This example schedules simulated jobs: many
-producer teams insert (deadline, job) pairs while consumer teams
-repeatedly pop the minimum — all interleaved on the simulated GPU at
-memory-access granularity.
+a motivating application.  The queue itself now lives in the registry
+as the ``pq`` structure (``repro.core.GPUPriorityQueue`` — run it
+through any engine backend or shard it with ``pq@4``); this example
+drives it directly: many producer teams insert (deadline, job) pairs
+while consumer teams repeatedly pop the minimum — all interleaved on
+the simulated GPU at memory-access granularity — then drains the
+backlog with the batched delete-min.
 
 Run:  python examples/priority_queue.py
 """
@@ -14,37 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import GFSL, suggest_capacity
-
-
-class GPUPriorityQueue:
-    """Min-priority queue: priority in the key, payload handle in the
-    value.  ``pop_min`` retries the (read-min, delete) pair until its
-    delete wins, the standard lock-free skiplist-PQ pattern."""
-
-    def __init__(self, capacity: int, seed: int = 3):
-        self.sl = GFSL(capacity_chunks=suggest_capacity(capacity),
-                       team_size=32, seed=seed)
-
-    def push_gen(self, priority: int, handle: int):
-        return self.sl.insert_gen(priority, handle)
-
-    def pop_gen(self):
-        return self.sl.pop_min_gen()
-
-    def push(self, priority: int, handle: int) -> bool:
-        return self.sl.insert(priority, handle)
-
-    def pop(self):
-        return self.sl.pop_min()
-
-    def __len__(self):
-        return len(self.sl)
+from repro.core import GPUPriorityQueue, suggest_capacity
 
 
 def main() -> None:
     rng = np.random.default_rng(1)
-    pq = GPUPriorityQueue(capacity=8_000)
+    pq = GPUPriorityQueue(capacity_chunks=suggest_capacity(8_000),
+                          team_size=32, seed=3)
 
     # Phase 1: sequential sanity — push shuffled deadlines, pop sorted.
     deadlines = rng.permutation(np.arange(100, 600))
@@ -53,6 +32,7 @@ def main() -> None:
     drained = [pq.pop() for _ in range(10)]
     print("first 10 deadlines popped:", drained)
     assert drained == sorted(drained)
+    assert pq.peek_min() == drained[-1] + 1
 
     # Phase 2: producers and consumers racing in one kernel.
     producers = [pq.push_gen(int(p), 0)
@@ -60,7 +40,7 @@ def main() -> None:
                                      replace=False)]
     consumers = [pq.pop_gen() for _ in range(200)]
     # The scheduler's seeded per-round shuffle interleaves the two roles.
-    results = pq.sl.ctx.run_concurrent(producers + consumers, seed=11)
+    results = pq.ctx.run_concurrent(producers + consumers, seed=11)
 
     popped = sorted(r.value for r in results[len(producers):]
                     if r.value is not None)
@@ -70,15 +50,22 @@ def main() -> None:
 
     # Every popped job must be gone; queue ordering must survive.
     for p in popped[:20]:
-        assert not pq.sl.contains(p)
+        assert not pq.contains(p)
+
+    # Phase 3: drain the backlog with the batched delete-min — the k
+    # smallest priorities per call, the registry structure's signature
+    # move (and, sharded, the hot-shard adversary CI reshards around).
     remaining = []
     while True:
-        v = pq.pop()
-        if v is None:
+        batch = pq.pop_min_batch(64)
+        if not batch:
             break
-        remaining.append(v)
+        assert batch == sorted(batch)
+        remaining.extend(batch)
     assert remaining == sorted(remaining)
-    print(f"drained {len(remaining)} remaining jobs in order — queue empty")
+    assert len(pq) == 0
+    print(f"drained {len(remaining)} remaining jobs in 64-wide batches "
+          f"— queue empty")
 
 
 if __name__ == "__main__":

@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 
 from ..core.locks import LockTimeout
 
-SERVE_FAULT_KINDS = ("request_burst", "stalled_client", "frozen_shard")
+SERVE_FAULT_KINDS = ("request_burst", "stalled_client", "frozen_shard",
+                     "migration_abort")
 
 
 class ShardFrozen(LockTimeout):
@@ -51,7 +52,10 @@ class ServeChaosConfig:
     that many clients to stop consuming at a seeded point;
     ``freeze_shard``/``freeze_at``/``freeze_steps`` freeze one shard
     for a window (``frozen_windows`` lists extra explicit
-    ``(shard, start, steps)`` windows)."""
+    ``(shard, start, steps)`` windows); ``abort_migrations`` injects
+    that many copy-phase aborts into the migration executor (each
+    consumed abort kills one attempt before any shard is mutated, so
+    the retry must re-copy from a fresh snapshot)."""
 
     bursts: int = 0
     burst_size: int = 32
@@ -60,6 +64,7 @@ class ServeChaosConfig:
     freeze_at: int = 0
     freeze_steps: int = 0
     frozen_windows: tuple = ()
+    abort_migrations: int = 0
     seed: int = 0
 
     def windows(self) -> list[tuple[int, int, int]]:
@@ -76,7 +81,8 @@ class ServeChaosConfig:
 
     @property
     def any_faults(self) -> bool:
-        return bool(self.bursts or self.stalled_clients or self.windows())
+        return bool(self.bursts or self.stalled_clients or self.windows()
+                    or self.abort_migrations)
 
 
 @dataclass
@@ -90,6 +96,7 @@ class ServeFaultInjector:
 
     def __post_init__(self):
         self._windows = self.config.windows()
+        self._aborts_left = int(self.config.abort_migrations)
         self.counts = {kind: 0 for kind in SERVE_FAULT_KINDS}
 
     def frozen(self, shard: int, now: int) -> bool:
@@ -98,6 +105,16 @@ class ServeFaultInjector:
                 self.counts["frozen_shard"] += 1
                 return True
         return False
+
+    def abort_migration(self) -> bool:
+        """Consume one injected migration abort (True for the first
+        ``abort_migrations`` calls — deterministic: the executor polls
+        at deterministic virtual instants)."""
+        if self._aborts_left <= 0:
+            return False
+        self._aborts_left -= 1
+        self.counts["migration_abort"] += 1
+        return True
 
     def note(self, kind: str, n: int = 1) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + n

@@ -326,7 +326,8 @@ def cmd_serve_bench(args) -> int:
         bursts=args.bursts, burst_size=args.burst_size,
         stalled_clients=args.stalled_clients,
         freeze_shard=args.freeze_shard, freeze_at=args.freeze_at,
-        freeze_steps=args.freeze_steps, seed=args.seed)
+        freeze_steps=args.freeze_steps,
+        abort_migrations=args.abort_migrations, seed=args.seed)
     cfg = ServeCampaignConfig(
         structure=args.structure, team_size=args.team_size,
         backend=args.backend, load=load,
@@ -341,10 +342,19 @@ def cmd_serve_bench(args) -> int:
         adaptive=args.adaptive, target_p99=args.target_p99,
         control_interval=args.control_interval,
         min_window=args.min_window, max_window=args.max_window,
+        elastic=args.elastic, partitioner=args.partitioner,
+        headroom=args.headroom,
+        reshard_max_migrations=args.max_migrations,
+        snapshot_audit=args.snapshot_audit,
         retry_attempts=args.retries, check=not args.no_check)
     if args.adaptive and cfg.admit_rate is None:
         print("serve-bench: --adaptive needs a positive --admit-rate "
               "(the controller adjusts the admission budget)",
+              file=sys.stderr)
+        return 2
+    if args.elastic and not args.adaptive:
+        print("serve-bench: --elastic needs --adaptive (the reshard "
+              "policy consumes the elasticity controller's telemetry)",
               file=sys.stderr)
         return 2
 
@@ -372,6 +382,21 @@ def cmd_serve_bench(args) -> int:
                        "timeline": report.ctrl_timeline}, fh, indent=1)
             fh.write("\n")
         print(f"wrote {args.ctrl_out}")
+    if args.migration_out is not None:
+        st = report.stats
+        Path(args.migration_out).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.migration_out, "w") as fh:
+            json.dump({"seed": load.seed, "elastic": cfg.elastic,
+                       "migrations": st.migrations,
+                       "migration_aborts": st.migration_aborts,
+                       "migration_retries": st.migration_retries,
+                       "migrated_keys": st.migrated_keys,
+                       "migration_reconciled": st.migration_reconciled,
+                       "events": report.migration_events,
+                       "routing_history": report.routing_history},
+                      fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {args.migration_out}")
 
     if not report.ok:
         return 1
@@ -597,6 +622,24 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--max-window", type=int, default=None,
                     help="adaptive: saturated coalesce window cap "
                     "(steps; default 4x coalesce-steps)")
+    pv.add_argument("--elastic", action="store_true",
+                    help="enable telemetry-driven resharding: the "
+                    "reshard policy watches per-shard telemetry and "
+                    "migrates hot key ranges online (needs --adaptive)")
+    pv.add_argument("--partitioner",
+                    choices=("auto", "range", "hash", "sampled"),
+                    default="auto",
+                    help="shard key partitioner (auto: sampled "
+                    "quantile boundaries for skewed distributions, "
+                    "range otherwise)")
+    pv.add_argument("--headroom", type=float, default=1.0,
+                    help="per-shard chunk-pool over-provisioning "
+                    "factor (>1 leaves room for migrated-in ranges)")
+    pv.add_argument("--max-migrations", type=int, default=4,
+                    help="elastic: migration budget per campaign")
+    pv.add_argument("--snapshot-audit", action="store_true",
+                    help="feed every range read's snapshot into the "
+                    "consistency checker (migration-window audit)")
     pv.add_argument("--retries", type=int, default=4,
                     help="max flush attempts per batch")
     pv.add_argument("--bursts", type=int, default=0,
@@ -608,6 +651,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="chaos: freeze this shard for a window")
     pv.add_argument("--freeze-at", type=int, default=400)
     pv.add_argument("--freeze-steps", type=int, default=600)
+    pv.add_argument("--abort-migrations", type=int, default=0,
+                    help="chaos: inject this many copy-phase migration "
+                    "aborts (each kills one attempt pre-mutation)")
     pv.add_argument("--max-p99", type=float, default=None,
                     help="gate: fail if admitted point-op p99 (µs) "
                     "exceeds this")
@@ -619,11 +665,14 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--hist-out", default=None,
                     help="write the latency histogram JSON here")
     pv.add_argument("--bench-out", default=None,
-                    help="write/merge a schema-v6 serve row into this "
+                    help="write/merge a schema-v7 serve row into this "
                     "BENCH_*.json file")
     pv.add_argument("--ctrl-out", default=None,
                     help="write the controller rate/window/occupancy "
                     "time series JSON here (CI artifact)")
+    pv.add_argument("--migration-out", default=None,
+                    help="write the migration-event/routing-history "
+                    "JSON here (CI artifact)")
     pv.set_defaults(func=cmd_serve_bench)
     return p
 

@@ -6,11 +6,12 @@ docstrings for the mapping onto the thesis algorithms.
 """
 
 from . import constants
-from .bulk import bulk_build_into, warm_structure
+from .bulk import bulk_build_into, plan_chunks, rebuild_into, warm_structure
 from .chunk import ChunkGeometry, ChunkVersion, select_version
 from .epoch import EpochDomain, EpochManager, GFSLSnapshot
 from .gfsl import GFSL, GFSL_KERNEL, OpStats, suggest_capacity
 from .locks import LockTimeout
+from .pq import GPUPriorityQueue
 from .traversal import RestartStorm
 from .validate import (InvariantViolation, bottom_items, count_zombies,
                        level_items, structure_height, validate_structure)
@@ -18,8 +19,9 @@ from .validate import (InvariantViolation, bottom_items, count_zombies,
 __all__ = [
     "GFSL", "GFSL_KERNEL", "OpStats", "suggest_capacity", "ChunkGeometry",
     "ChunkVersion", "select_version",
-    "EpochDomain", "EpochManager", "GFSLSnapshot",
-    "bulk_build_into", "warm_structure", "constants", "InvariantViolation",
+    "EpochDomain", "EpochManager", "GFSLSnapshot", "GPUPriorityQueue",
+    "bulk_build_into", "plan_chunks", "rebuild_into", "warm_structure",
+    "constants", "InvariantViolation",
     "LockTimeout", "RestartStorm",
     "bottom_items", "count_zombies", "level_items", "structure_height",
     "validate_structure",

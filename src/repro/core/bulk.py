@@ -137,6 +137,65 @@ def bulk_build_into(sl, items, rng: np.random.Generator | None = None,
     return {lvl: cnt for lvl, cnt in enumerate(level_counts)}
 
 
+def plan_chunks(geo: ChunkGeometry, max_level: int, n_keys: int,
+                fill: float = DEFAULT_FILL) -> int:
+    """Worst-case chunk budget of a bulk build of ``n_keys`` keys —
+    assumes every eligible chunk promotes (``p_chunk = 1``), so the
+    estimate upper-bounds any seed's actual allocation.  Used to
+    pre-check capacity *before* formatting a structure: the builder
+    itself only discovers exhaustion mid-build, after the old contents
+    are gone."""
+    per = _per_chunk(geo, fill)
+    total = max_level  # the per-level initial (−∞) chunks
+    level = 0
+    n = int(n_keys)
+    while n > 0:
+        c = -(-n // per)
+        total += c
+        if c <= 1 or level + 1 >= max_level:
+            break
+        n = c - 1  # every chunk after the first promotes its min key
+        level += 1
+    return total
+
+
+def rebuild_into(sl, items, rng: np.random.Generator | None = None,
+                 fill: float = DEFAULT_FILL) -> dict:
+    """Non-destructive-on-failure wrapper around
+    :func:`bulk_build_into` — the migration executor's rebuild
+    primitive (DESIGN.md §16).
+
+    Two prechecks run *before* the pool is formatted, so a refused
+    rebuild leaves the structure exactly as it was:
+
+    * **live pins** — a rebuild rewrites chunk words through ``raw()``
+      views that bypass the epoch write barrier, which would tear any
+      pinned snapshot's pre-images; callers must drain pins first,
+    * **capacity** — :func:`plan_chunks` worst-cases the chunk budget;
+      ``bulk_build_into`` itself only notices exhaustion after
+      formatting (destroying the old contents).
+    """
+    items = list(items)
+    mgr = getattr(sl.ctx, "_epochs", None)
+    if mgr is not None and mgr.active_pins:
+        raise RuntimeError(
+            f"rebuild_into with {mgr.active_pins} live snapshot pin(s): "
+            "the builder's raw writes bypass the epoch barrier and "
+            "would tear pinned views")
+    lay = sl.layout
+    need = plan_chunks(sl.geo, lay.max_level, len(items), fill)
+    if need > lay.capacity_chunks:
+        from .gfsl import suggest_capacity
+        from .pool import OutOfChunks
+        raise OutOfChunks(
+            f"rebuild needs {need} chunks (worst case)",
+            capacity=lay.capacity_chunks, allocated=lay.max_level,
+            live_keys=len(items),
+            suggested_capacity=suggest_capacity(max(len(items), 1),
+                                                team_size=sl.geo.n))
+    return bulk_build_into(sl, items, rng=rng, fill=fill)
+
+
 def warm_structure(sl) -> None:
     """Load the whole structure's lines into the simulated L2 (so a
     structure that fits starts resident, as after a real prefill run)."""

@@ -536,6 +536,14 @@ class GFSL:
         with self.begin_snapshot() as snap:
             return snap.items(tracer=self.ctx.tracer)
 
+    def export_range(self, lo: int, hi: int) -> list[tuple[int, int]]:
+        """The migration executor's snapshot-backed source read
+        (DESIGN.md §16): every (key, value) in ``[lo, hi]`` from one
+        consistent cut, so the copied image is a legal state of the
+        range even while writers keep landing on this shard (the
+        executor captures those as the delta)."""
+        return self.snapshot_range_query(lo, hi)
+
     # -- host-side utilities -----------------------------------------------
     def items(self) -> list[tuple[int, int]]:
         """Host-side snapshot of all (key, value) pairs (quiescent use)."""

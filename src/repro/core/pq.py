@@ -1,0 +1,68 @@
+"""GPU skiplist priority queue (the registry ``pq`` structure).
+
+Promotes ``examples/priority_queue.py`` into a first-class structure:
+a :class:`~repro.core.gfsl.GFSL` whose key order *is* the heap order,
+with Shavit–Lotan delete-min (retry the (min, delete) pair until the
+delete wins the race) and a **batched** delete-min that drains the k
+smallest priorities in one call.
+
+Delete-min traffic is the adversarial workload this repo's elastic
+resharding exists for: every pop contends on the leftmost chunk, and
+under range partitioning the leftmost *shard* — shard 0 is the hot
+shard by construction (PAPERS.md, "Practical Concurrent Priority
+Queues").  The ``pq`` registry entry therefore feeds the canonical
+hot-shard campaign (``--structure pq@S --distribution front``).
+
+The queue is a thin subclass: every GFSL capability (snapshots, vector
+kernels, chunk geometry, the epoch domain) carries over unchanged, so
+``pq`` shards compose with :class:`~repro.shard.sharded.ShardedMap`,
+the engine backends, and the migration executor exactly like ``gfsl``
+shards do.
+"""
+
+from __future__ import annotations
+
+from .gfsl import GFSL
+
+
+class GPUPriorityQueue(GFSL):
+    """Min-priority queue on the GFSL key order.
+
+    Priorities are user keys (smaller = higher priority); the 32-bit
+    value word carries an opaque handle.  Duplicate priorities collapse
+    (set semantics, inherited from the map) — callers needing
+    multiplicity pack a disambiguator into the priority's low bits.
+    """
+
+    def push_gen(self, priority: int, handle: int = 0):
+        """Insert ``priority`` (False if already queued)."""
+        return self.insert_gen(priority, handle)
+
+    def push(self, priority: int, handle: int = 0) -> bool:
+        return self.ctx.run(self.push_gen(priority, handle))
+
+    def pop_gen(self):
+        """Delete-min; yields the popped priority or None when empty."""
+        return self.pop_min_gen()
+
+    def pop(self):
+        return self.ctx.run(self.pop_gen())
+
+    def pop_min_batch_gen(self, n: int):
+        """Drain the ``n`` smallest priorities (fewer if the queue
+        empties), in ascending order — the batched delete-min the wave
+        planner sees as n ops all contending on the leftmost chunk."""
+        out: list[int] = []
+        for _ in range(int(n)):
+            k = yield from self.pop_min_gen()
+            if k is None:
+                break
+            out.append(k)
+        return out
+
+    def pop_min_batch(self, n: int) -> list[int]:
+        return self.ctx.run(self.pop_min_batch_gen(n))
+
+    def peek_min(self):
+        """Smallest queued priority without removing it (None if empty)."""
+        return self.min_key()

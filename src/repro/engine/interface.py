@@ -114,7 +114,7 @@ def mc_region_words(expected: int) -> int:
 
 def region_words(kind: str, expected: int, team_size: int = 32) -> int:
     """Region size for one instance of ``kind`` (base registry name)."""
-    if kind == "gfsl":
+    if kind in ("gfsl", "pq"):
         return gfsl_region_words(expected, team_size)
     if kind == "mc":
         return mc_region_words(expected)
@@ -124,25 +124,35 @@ def region_words(kind: str, expected: int, team_size: int = 32) -> int:
 def _build_gfsl(workload, *, team_size: int = 32, p_chunk: float = 1.0,
                 p_key: float = 0.5, device=None, seed: int = 0,
                 ctx=None, base: int | None = None, prefill=None,
-                expected: int | None = None) -> GFSL:
+                expected: int | None = None, cls: type = GFSL) -> GFSL:
     """Bulk-build the prefilled GFSL for a workload and warm the L2.
 
     ``ctx``/``base`` place the instance on a shared context at an
     explicit offset (``base=None`` on a shared context reserves one);
     ``prefill``/``expected`` override the workload's prefill set and
     sizing for partitioned builds.  The defaults reproduce the classic
-    instance-owns-device build exactly.
+    instance-owns-device build exactly.  ``cls`` selects a GFSL
+    subclass (the ``pq`` registry entry passes
+    :class:`~repro.core.pq.GPUPriorityQueue`).
     """
     if expected is None:
         expected = _expected_keys(workload)
-    sl = GFSL(capacity_chunks=gfsl_pool_capacity(expected, team_size),
-              team_size=team_size, p_chunk=p_chunk, ctx=ctx, device=device,
-              base=base, seed=seed)
+    sl = cls(capacity_chunks=gfsl_pool_capacity(expected, team_size),
+             team_size=team_size, p_chunk=p_chunk, ctx=ctx, device=device,
+             base=base, seed=seed)
     prefill = workload.prefill if prefill is None else prefill
     if len(prefill):
         bulk_build_into(sl, [(int(k), 0) for k in prefill], rng=sl.rng)
     warm_structure(sl)
     return sl
+
+
+def _build_pq(workload, **params):
+    """The ``pq`` entry: a GFSL build yielding a
+    :class:`~repro.core.pq.GPUPriorityQueue` (same layout, kernel
+    profile, and sizing — only the wrapper class differs)."""
+    from ..core.pq import GPUPriorityQueue
+    return _build_gfsl(workload, cls=GPUPriorityQueue, **params)
 
 
 def _build_mc(workload, *, team_size: int = 32, p_chunk: float = 1.0,
@@ -175,6 +185,7 @@ class StructureSpec:
 STRUCTURES: dict[str, StructureSpec] = {
     "gfsl": StructureSpec("gfsl", "GFSL", _build_gfsl, GFSL_KERNEL),
     "mc": StructureSpec("mc", "M&C", _build_mc, MC_KERNEL),
+    "pq": StructureSpec("pq", "PQ", _build_pq, GFSL_KERNEL),
 }
 
 
@@ -233,8 +244,10 @@ def make_structure(kind: str, workload, *, shards: int | None = None,
     if shards is not None and "@" in kind and shards != kind_shards:
         raise ValueError(f"conflicting shard counts: {kind!r} vs {shards}")
     if "@" not in kind and shards is None:
-        # No sharding requested: the classic instance-owns-device build.
+        # No sharding requested: the classic instance-owns-device build
+        # (shard-only knobs are meaningless here and dropped).
         params.pop("partitioner", None)
+        params.pop("headroom", None)
         return structure_spec(base_kind).build(workload, **params)
     from ..shard import build_sharded  # runtime: shard imports engine
     return build_sharded(base_kind, n, workload, **params)

@@ -61,7 +61,13 @@ serve rows, the controller columns ``target_p99_us``,
 ``healthy_p99_us`` (p99 over non-chaos-frozen shards), and the final
 per-shard ``shard_rates`` (tokens/kstep) / ``shard_windows`` (steps) —
 validated when present, so v5 serve rows migrated into a v6 file stay
-valid.
+valid.  Schema v7 adds the ``elastic`` row dimension
+(telemetry-driven resharding on/off; missing reads as ``false``, so v6
+baselines keep matching, and a resharded campaign never gates against
+its frozen-mapping twin) plus, on serve rows, the migration counters
+``migrations``/``migration_aborts``/``migrated_keys`` and a
+``migration_events`` list (one dict per attempt, the CI artifact
+material) — all validated only when present.
 """
 
 from __future__ import annotations
@@ -75,7 +81,7 @@ from pathlib import Path
 from .counters import MetricsCollector
 from .spans import SpanTracer, merge_chrome
 
-SCHEMA_ID = "repro-bench/6"
+SCHEMA_ID = "repro-bench/7"
 BENCH_GLOB = "BENCH_*.json"
 _BENCH_RE = re.compile(r"^BENCH_.*\.json$")
 
@@ -102,19 +108,24 @@ _SERVE_COUNTS = ("rejected", "shed", "retries")
 #: migrated into a v6 file carry none of them).
 _SERVE_V6_NUMBERS = ("target_p99_us", "healthy_p99_us")
 _SERVE_V6_LISTS = ("shard_rates", "shard_windows")
+#: v7 migration counters — validated only when present (pre-elastic
+#: serve rows carry none of them).
+_SERVE_V7_COUNTS = ("migrations", "migration_aborts", "migrated_keys")
 
 
 def row_key(row: dict) -> tuple:
     """The identity a row is matched on across BENCH files (``shards``
-    defaults to 1, ``distribution`` to "uniform", ``adaptive`` to
-    False, and ``source`` to "replay" so schema-v1/v3/v4/v5 rows keep
-    matching — serve rows never pair with replay rows in the
-    regression gate, and adaptive campaigns never pair with static
-    ones).  ``source`` stays last."""
+    defaults to 1, ``distribution`` to "uniform", ``adaptive`` and
+    ``elastic`` to False, and ``source`` to "replay" so
+    schema-v1/v3/v4/v5/v6 rows keep matching — serve rows never pair
+    with replay rows in the regression gate, adaptive campaigns never
+    pair with static ones, and resharded runs never pair with
+    frozen-mapping ones).  ``source`` stays last."""
     return (row["structure"], row["backend"], row["mixture"],
             row["key_range"], row["n_ops"], row.get("shards", 1),
             row.get("distribution", "uniform"),
             bool(row.get("adaptive", False)),
+            bool(row.get("elastic", False)),
             row.get("source", "replay"))
 
 
@@ -260,6 +271,17 @@ def validate_bench(doc) -> list[str]:
                                   f"integer (required on serve rows)")
             if "adaptive" in row and not isinstance(row["adaptive"], bool):
                 errors.append(f"{where}.adaptive must be a boolean")
+            if "elastic" in row and not isinstance(row["elastic"], bool):
+                errors.append(f"{where}.elastic must be a boolean")
+            for key in _SERVE_V7_COUNTS:
+                if key in row and (not isinstance(row[key], int)
+                                   or isinstance(row[key], bool)
+                                   or row[key] < 0):
+                    errors.append(f"{where}.{key} must be a non-negative "
+                                  f"integer")
+            if "migration_events" in row and \
+                    not isinstance(row["migration_events"], list):
+                errors.append(f"{where}.migration_events must be a list")
             for key in _SERVE_V6_NUMBERS:
                 if key in row and (not isinstance(row[key], (int, float))
                                    or isinstance(row[key], bool)):
@@ -394,6 +416,8 @@ def render_markdown(doc: dict, comparison: dict | None = None,
         lines.append("|" + "---|" * 11)
         for row in serve_rows:
             mode = ("adaptive" if row.get("adaptive", False) else "static")
+            if row.get("elastic", False):
+                mode += "+elastic"
             healthy = row.get("healthy_p99_us")
             lines.append(
                 f"| {row['structure']} | {row['backend']} "
@@ -414,10 +438,12 @@ def render_markdown(doc: dict, comparison: dict | None = None,
             lines.append("No regressions.")
 
         def cell_name(key):
-            s, b, m, kr, n, sh, dist, adaptive, src = _pad_row_key(key)
+            (s, b, m, kr, n, sh, dist, adaptive, elastic,
+             src) = _pad_row_key(key)
             return (f"{s}/{b}" + (f" x{sh}" if sh != 1 else "")
                     + (f" {dist}" if dist != "uniform" else "")
                     + (" adaptive" if adaptive else "")
+                    + (" elastic" if elastic else "")
                     + (f" [{src}]" if src != "replay" else ""), m, kr)
         for entry in regs:
             cell, m, kr = cell_name(entry["row"])
@@ -435,14 +461,17 @@ def render_markdown(doc: dict, comparison: dict | None = None,
 
 
 def _pad_row_key(key) -> tuple:
-    """Pad a possibly pre-v6 row identity to the v6 9-element shape
-    (pre-v5 keys lack ``source``; v5 keys lack ``adaptive``, which
-    slots in just before the trailing ``source``)."""
+    """Pad a possibly pre-v7 row identity to the v7 10-element shape
+    (pre-v5 keys lack ``source``; v5 keys lack ``adaptive`` and v6
+    keys lack ``elastic``, each of which slots in just before the
+    trailing ``source``)."""
     key = tuple(key)
     if len(key) == 7:
         key = key + ("replay",)
     if len(key) == 8:
         key = key[:7] + (False,) + key[7:]
+    if len(key) == 9:
+        key = key[:8] + (False,) + key[8:]
     return key
 
 

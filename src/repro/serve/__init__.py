@@ -27,6 +27,7 @@ from .loadgen import (LoadConfig, LoadPlan, PlannedRequest, build_plan,
                       make_clients, run_client, sizing_workload)
 from .request import (DELETE, GET, KINDS, PUT, RANGE, ClientState,
                       Request, ServeStats, percentile)
+from .reshard import ReshardConfig, ReshardPlan, ReshardPolicy
 
 __all__ = [
     "VirtualLoop", "Future", "Task", "Queue", "QueueEmpty", "QueueFull",
@@ -41,4 +42,5 @@ __all__ = [
     "sizing_workload", "make_clients", "run_client",
     "ServeCampaignConfig", "ServeReport", "run_serve_campaign",
     "latency_histogram", "serve_bench_row", "merge_serve_row",
+    "ReshardConfig", "ReshardPlan", "ReshardPolicy",
 ]

@@ -58,6 +58,14 @@ class ServeCampaignConfig:
     control_interval: int = 200          # controller period (steps)
     min_window: int | None = None        # idle coalesce window floor
     max_window: int | None = None        # saturated window ceiling
+    elastic: bool = False                # telemetry-driven resharding
+    partitioner: str = "range"           # range / hash / sampled / auto
+    headroom: float = 1.0                # per-shard pool over-provision
+    reshard_hot_ticks: int = 2           # hot streak before migrating
+    reshard_cooldown: int = 4            # ticks between migrations
+    reshard_max_migrations: int = 4      # per campaign
+    reshard_min_keys: int = 32           # sample floor for a split
+    snapshot_audit: bool = False         # range reads feed the checker
     retry_attempts: int = 4
     retry_base_steps: int = 32
     check: bool = True
@@ -84,6 +92,10 @@ class ServeReport:
     shard_rates: list = field(default_factory=list)
     shard_windows: list = field(default_factory=list)
     ctrl_timeline: list = field(default_factory=list)
+    #: One dict per migration attempt (elastic runs; schema-v7 rows).
+    migration_events: list = field(default_factory=list)
+    #: Routing generations published during the run.
+    routing_history: list = field(default_factory=list)
     wall_seconds: float = 0.0
     transactions: int = 0
     l2_hit_rate: float = 0.0
@@ -125,6 +137,13 @@ class ServeReport:
                          f"ups={st.ctrl_rate_ups} downs={st.ctrl_rate_downs} "
                          f"rebalances={st.ctrl_rebalances} · final "
                          f"rates=[{rates}]/kstep windows=[{windows}]steps")
+        if cfg.elastic:
+            lines.append(f"  resharding: migrations={st.migrations} "
+                         f"moved_keys={st.migrated_keys} "
+                         f"delta_ops={st.migration_delta_ops} "
+                         f"aborts={st.migration_aborts} "
+                         f"retries={st.migration_retries} "
+                         f"reconciled={st.migration_reconciled}")
         if self.hung is not None:
             lines.append(f"  HANG: {self.hung}")
         if self.unresolved:
@@ -140,6 +159,45 @@ class ServeReport:
         return "\n".join(lines)
 
 
+#: Distributions skewed enough that linspace boundaries misbalance a
+#: range-partitioned build — ``partitioner="auto"`` samples instead.
+SKEWED_DISTRIBUTIONS = ("zipf", "hotspot", "front")
+
+
+def _structure_kwargs(cfg: ServeCampaignConfig, plan) -> dict:
+    """Partitioner/headroom build kwargs for sharded campaigns.
+
+    ``"auto"`` resolves to quantile-sampled boundaries
+    (:meth:`~repro.shard.RangePartitioner.from_sample`) for skewed
+    distributions and plain linspace ranges otherwise; the sample is
+    the plan's point-request key stream, so the boundaries are a pure
+    function of the campaign seed."""
+    from ..engine.interface import parse_structure_kind
+    _base, n_shards = parse_structure_kind(cfg.structure)
+    if n_shards <= 1:
+        return {}
+    spec = cfg.partitioner
+    if spec == "auto":
+        spec = ("sampled" if cfg.load.distribution in SKEWED_DISTRIBUTIONS
+                else "range")
+    if spec == "sampled":
+        from ..shard import RangePartitioner
+        sample = [pr.key for pr in plan.requests if pr.kind != "range"]
+        spec = RangePartitioner.from_sample(n_shards, cfg.load.key_range,
+                                            sample)
+    return {"partitioner": spec, "headroom": cfg.headroom}
+
+
+def _reshard_config(cfg: ServeCampaignConfig):
+    if not cfg.elastic:
+        return None
+    from .reshard import ReshardConfig
+    return ReshardConfig(hot_ticks=cfg.reshard_hot_ticks,
+                         cooldown_ticks=cfg.reshard_cooldown,
+                         max_migrations=cfg.reshard_max_migrations,
+                         min_keys=cfg.reshard_min_keys)
+
+
 def run_serve_campaign(cfg: ServeCampaignConfig) -> ServeReport:
     """Run one seeded serve campaign end to end and audit it."""
     import time
@@ -147,7 +205,8 @@ def run_serve_campaign(cfg: ServeCampaignConfig) -> ServeReport:
     plan = build_plan(cfg.load, cfg.chaos)
     workload = sizing_workload(cfg.load, plan)
     structure = make_structure(cfg.structure, workload,
-                               team_size=cfg.team_size)
+                               team_size=cfg.team_size,
+                               **_structure_kwargs(cfg, plan))
     initial = set(int(k) for k in plan.prefill)
     tracer = structure.ctx.tracer
     tracer.reset_stats()
@@ -172,7 +231,9 @@ def run_serve_campaign(cfg: ServeCampaignConfig) -> ServeReport:
         adaptive=cfg.adaptive, target_p99=cfg.target_p99,
         control_interval=cfg.control_interval,
         min_window=cfg.min_window, max_window=cfg.max_window,
-        retry=retry, recorder=recorder, faults=injector, metrics=metrics)
+        retry=retry, recorder=recorder, faults=injector, metrics=metrics,
+        elastic=cfg.elastic, reshard=_reshard_config(cfg),
+        snapshot_audit=cfg.snapshot_audit)
 
     clients = make_clients(loop, cfg.load)
     per_client = plan.by_client()
@@ -220,6 +281,9 @@ def run_serve_campaign(cfg: ServeCampaignConfig) -> ServeReport:
     report.shard_windows = snap["windows"]
     if frontend.controller is not None:
         report.ctrl_timeline = frontend.controller.timeline
+    if frontend.migrator is not None:
+        report.migration_events = list(frontend.migrator.events)
+        report.routing_history = list(structure.routing.history)
     frozen = (set(cfg.chaos.frozen_shard_ids())
               if cfg.chaos is not None else set())
     healthy = [lat for sid, lats in sorted(st.shard_latencies.items())
@@ -229,7 +293,10 @@ def run_serve_campaign(cfg: ServeCampaignConfig) -> ServeReport:
                            for sid, lats in sorted(st.shard_latencies.items())}
 
     if cfg.check and hung is None:
-        lin = check_history(recorder, initial, set(structure.keys()))
+        snapshots = (frontend.snapshot_observations
+                     if cfg.snapshot_audit else None)
+        lin = check_history(recorder, initial, set(structure.keys()),
+                            snapshots=snapshots)
         report.linearizable = lin.ok
         report.lin_summary = lin.summary()
         shards = getattr(structure, "shards", [structure])
@@ -262,10 +329,11 @@ def latency_histogram(stats: ServeStats) -> dict:
 
 
 def serve_bench_row(cfg: ServeCampaignConfig, report: ServeReport) -> dict:
-    """A schema-v6 BENCH row for one serve campaign (``source:
+    """A schema-v7 BENCH row for one serve campaign (``source:
     "serve"`` keeps it out of replay-row regression comparisons;
-    ``adaptive`` is part of the row identity so static and adaptive
-    runs of the same campaign coexist in one file)."""
+    ``adaptive`` and ``elastic`` are part of the row identity so
+    static, adaptive, and resharded runs of the same campaign coexist
+    in one file)."""
     st = report.stats
     load = cfg.load
     model_seconds = report.total_steps * 1e-6     # 1 step = 1 µs
@@ -306,11 +374,16 @@ def serve_bench_row(cfg: ServeCampaignConfig, report: ServeReport) -> dict:
         "shed": st.shed,
         "retries": st.retries,
         "adaptive": bool(cfg.adaptive),
+        "elastic": bool(cfg.elastic),
         "target_p99_us": float(cfg.target_p99),
         "healthy_p99_us": (report.healthy_p99_us
                            if report.healthy_p99_us is not None else 0.0),
         "shard_rates": list(report.shard_rates),
         "shard_windows": list(report.shard_windows),
+        "migrations": int(st.migrations),
+        "migration_aborts": int(st.migration_aborts),
+        "migrated_keys": int(st.migrated_keys),
+        "migration_events": list(report.migration_events),
         "counters": counters,
     }
 

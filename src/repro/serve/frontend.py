@@ -31,6 +31,17 @@ grants that move a wedged shard's unused budget to healthy shards.
 The controller is ticked from the submit/flush paths on the virtual
 clock (never from wall time), and each tick lands a ``ctrl-s<sid>``
 span plus a timeline entry in the metrics layer.
+
+With ``elastic=True`` (on top of ``adaptive``) the controller's
+telemetry additionally feeds a
+:class:`~repro.serve.reshard.ReshardPolicy`: each tick the policy
+checks for a sustainably hot shard and, at most one at a time, a
+:class:`~repro.shard.migrate.MigrationExecutor` task moves the chosen
+key range to a cold shard and publishes a new routing generation
+(DESIGN.md §16).  In-flight batches keep routing against the
+generation they were split under; requests still queued at the flip
+are re-split under the new generation at flush time — which routes
+them to the new owner, who by then holds the keys.
 """
 
 from __future__ import annotations
@@ -75,7 +86,9 @@ class ServeFrontend:
                  max_window: int | None = None,
                  retry: RetryPolicy | None = None,
                  recorder: HistoryRecorder | None = None,
-                 faults=None, metrics: MetricsCollector | None = None):
+                 faults=None, metrics: MetricsCollector | None = None,
+                 elastic: bool = False, reshard=None, migration=None,
+                 snapshot_audit: bool = False):
         self.structure = structure
         self.loop = loop
         self.backend = make_backend(backend) \
@@ -127,6 +140,38 @@ class ServeFrontend:
         else:
             self.bucket = TokenBucket(admit_rate, admit_burst, now=loop.now)
             self.buckets = [self.bucket] * self.n_shards
+
+        # Elastic resharding (DESIGN.md §16): only meaningful with the
+        # controller producing telemetry, multiple shards, and a
+        # routing table to publish generations through.
+        self.elastic = (bool(elastic) and self.adaptive
+                        and self.n_shards > 1
+                        and hasattr(structure, "routing"))
+        self.reshard_policy = None
+        self.migrator = None
+        self.snapshot_audit = bool(snapshot_audit)
+        #: Snapshot-consistency observations (range reads under audit).
+        self.snapshot_observations: list = []
+        self._migration_task = None
+        if self.elastic:
+            from ..shard.migrate import MigrationExecutor
+            from .reshard import ReshardPolicy
+            self.reshard_policy = ReshardPolicy(self.n_shards, target_p99,
+                                                reshard)
+            self.migrator = MigrationExecutor(structure, loop,
+                                              config=migration,
+                                              faults=faults,
+                                              stats=self.stats)
+            # Bounded per-shard sample of recently routed point keys —
+            # the policy's split-point material.
+            from collections import deque
+            self._recent_keys = [deque(maxlen=128)
+                                 for _ in range(self.n_shards)]
+            # Per-shard admission rejections since the last tick: the
+            # "sustained rate-cap" hot signal (an overloaded shard under
+            # AIMD bounces arrivals at its bucket long before its p99
+            # moves — the admitted few are served quickly).
+            self._shard_rejects = [0] * self.n_shards
 
         if metrics is None:
             metrics = MetricsCollector(spans=SpanTracer())
@@ -199,6 +244,28 @@ class ServeFrontend:
                           rate=round(ctrl.effective_rates[sid], 2),
                           window=ctrl.windows[sid],
                           occupancy=round(occupancies[sid], 3))
+        self._maybe_reshard(ctrl)
+
+    def _maybe_reshard(self, ctrl) -> None:
+        """Feed this tick's telemetry to the reshard policy and launch
+        at most one migration task at a time."""
+        policy = self.reshard_policy
+        if policy is None:
+            return
+        policy.note_tick(ctrl.timeline[-self.n_shards:],
+                         rejects=self._shard_rejects)
+        self._shard_rejects = [0] * self.n_shards
+        if self._migration_task is not None \
+                and not self._migration_task.done():
+            return
+        plan = policy.plan(self.structure.routing, self._recent_keys)
+        if plan is None:
+            return
+        task = self.loop.create_task(
+            self.migrator.migrate(plan.src, plan.dst, plan.lo, plan.hi),
+            f"migrate-{plan.src}to{plan.dst}")
+        self._migration_task = task
+        self._tasks.append(task)
 
     def window_of(self, sid: int) -> int:
         """Current coalesce window for one shard's dispatcher."""
@@ -273,6 +340,8 @@ class ServeFrontend:
             return req.future
 
         sid = self.shard_of(req.key)
+        if self.elastic and req.kind != RANGE:
+            self._recent_keys[sid].append(req.key)
         if req.kind == RANGE:
             if self._overloaded_for_ranges(sid):
                 self._reject(req, Overloaded("shed-range"))
@@ -289,6 +358,8 @@ class ServeFrontend:
                 req.future.set_exception(CircuitOpen(sid, breaker.retry_at))
                 return req.future
             if not self.buckets[sid].take(loop.now):
+                if self.elastic:
+                    self._shard_rejects[sid] += 1
                 self._reject(req, Overloaded("admission"))
                 return req.future
             queue = self._queues[sid]
@@ -474,6 +545,7 @@ class ServeFrontend:
             self._resolve(req, result=rows)
             return
         snap = self.structure.begin_snapshot()
+        pin_step = loop.now
         try:
             if req.expired(loop.now):
                 st.expired += 1
@@ -487,6 +559,15 @@ class ServeFrontend:
                 # Charge the frozen walk to the virtual clock: ~4
                 # memory transactions per device step, floor 1.
                 loop.now += max(1, (tracer.stats.transactions - before) // 4)
+            if self.snapshot_audit:
+                # Snapshot-consistency material for the chaos checker:
+                # this frozen window must equal some legal state within
+                # the pin interval, migrations included.
+                from ..chaos.linearize import SnapshotObservation
+                self.snapshot_observations.append(SnapshotObservation(
+                    keys=frozenset(k for k, _ in rows),
+                    start=pin_step, end=loop.now,
+                    lo=req.key, hi=req.hi))
             st.range_latencies.append(loop.now - req.submit_step)
             st.completed += 1
             self._resolve(req, result=rows)

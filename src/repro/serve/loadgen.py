@@ -17,8 +17,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..chaos.serve_faults import ServeChaosConfig
-from ..workloads.generator import (Mixture, Workload, hotspot_keys,
-                                   zipf_keys)
+from ..workloads.generator import (Mixture, Workload, front_keys,
+                                   hotspot_keys, zipf_keys)
 from .aio import Queue, QueueEmpty, VirtualLoop
 from .request import DELETE, GET, PUT, RANGE, ClientState, Request
 
@@ -33,7 +33,7 @@ class LoadConfig:
     mix: tuple = (25, 10, 60, 5)        # put, delete, get, range (%)
     rate: float = 100.0                  # requests per 1000 steps
     deadline_steps: int = 4000           # per-request deadline horizon
-    distribution: str = "zipf"           # uniform / zipf / hotspot
+    distribution: str = "zipf"           # uniform / zipf / hotspot / front
     zipf_s: float = 1.0
     range_span: int = 64                 # range window width
     max_inflight: int = 64               # per-client in-flight cap
@@ -83,6 +83,11 @@ def _draw_keys(rng, cfg: LoadConfig, n: int) -> np.ndarray:
         return zipf_keys(rng, cfg.key_range, n, s=cfg.zipf_s)
     if cfg.distribution == "hotspot":
         return hotspot_keys(rng, cfg.key_range, n)
+    if cfg.distribution == "front":
+        # Front-loaded zipf: the delete-min adversary — the hot mass
+        # sits on the smallest keys, i.e. on shard 0 under range
+        # partitioning (the canonical elastic-resharding campaign).
+        return front_keys(rng, cfg.key_range, n, s=cfg.zipf_s)
     return rng.integers(1, cfg.key_range + 1, size=n)
 
 

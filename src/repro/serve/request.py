@@ -88,6 +88,12 @@ class ServeStats:
     ctrl_rate_ups: int = 0        # per-shard additive rate increases
     ctrl_rate_downs: int = 0      # per-shard multiplicative back-offs
     ctrl_rebalances: int = 0      # ticks that re-granted idle tokens
+    migrations: int = 0           # published routing generations
+    migration_aborts: int = 0     # attempts ended before the flip
+    migration_retries: int = 0    # attempts beyond each first
+    migrated_keys: int = 0        # keys moved across all migrations
+    migration_delta_ops: int = 0  # delta ops replayed in windows
+    migration_reconciled: int = 0 # delta/truth divergences (audit; 0)
     reasons: dict = field(default_factory=dict)
     point_latencies: list = field(default_factory=list)
     range_latencies: list = field(default_factory=list)
@@ -129,6 +135,12 @@ class ServeStats:
             "ctrl_rate_ups": self.ctrl_rate_ups,
             "ctrl_rate_downs": self.ctrl_rate_downs,
             "ctrl_rebalances": self.ctrl_rebalances,
+            "migrations": self.migrations,
+            "migration_aborts": self.migration_aborts,
+            "migration_retries": self.migration_retries,
+            "migrated_keys": self.migrated_keys,
+            "migration_delta_ops": self.migration_delta_ops,
+            "migration_reconciled": self.migration_reconciled,
         }
         for reason, n in sorted(self.reasons.items()):
             out[f"reject_{reason.replace('-', '_')}"] = n

@@ -51,8 +51,16 @@ def round_robin_order(per_shard: list[np.ndarray]) -> np.ndarray:
 
 
 def merge_waves(per_shard_waves: list[list[list[int]]]) -> list[list[int]]:
-    """Zip per-shard wave plans into global waves by wave index."""
+    """Zip per-shard wave plans into global waves by wave index.
+
+    Shards may contribute *zero* waves — an idle shard, or one whose
+    whole key range was just migrated away, hands the planner an empty
+    op list and therefore an empty plan.  Empty (or absent) per-shard
+    plans simply drop out of every global wave; an all-empty input
+    yields an empty plan."""
     merged: list[list[int]] = []
+    if not per_shard_waves:
+        return merged
     depth = max((len(w) for w in per_shard_waves), default=0)
     for i in range(depth):
         wave: list[int] = []

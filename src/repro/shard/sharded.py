@@ -31,6 +31,7 @@ per-shard blocks for balance reporting.
 
 from __future__ import annotations
 
+import math
 from typing import Generator
 
 import numpy as np
@@ -43,6 +44,7 @@ from ..gpu.kernel import GPUContext
 from ..metrics.counters import MetricsCollector
 from .partition import Partitioner, make_partitioner
 from .router import merge_waves, round_robin_order, split_indices
+from .routing import RoutingTable
 
 _RESERVE_ALIGN = 16
 
@@ -83,6 +85,17 @@ class ShardedMap:
             raise ValueError("partitioner/shard-count mismatch")
         self.shards = list(shards)
         self.partitioner = partitioner
+        #: Versioned key→shard routing (generation 0 delegates to the
+        #: static partitioner bit-for-bit; migrations publish new
+        #: generations without touching old ones — DESIGN.md §16).
+        self.routing = RoutingTable(partitioner)
+        # Generation latched at batch-split time so every dispatch of
+        # one batch routes against the plan it was split under, even if
+        # a migration publishes a newer generation mid-flight.
+        self._route_gen: int | None = None
+        # Active delta-capture window (lo, hi, ops list) — set by the
+        # migration executor while it copies [lo, hi] from a snapshot.
+        self._capture: tuple[int, int, list] | None = None
         self.ctx = ctx
         self.kind = kind
         self.op_stats = _AggregateOpStats(self.shards)
@@ -119,11 +132,35 @@ class ShardedMap:
         return getattr(self.shards[0], "geo", None)
 
     def shard_of(self, key: int) -> int:
-        return self.partitioner.shard_of(key)
+        return self.routing.shard_of(key)
 
     def shard_for(self, key: int):
-        """The instance owning ``key``."""
-        return self.shards[self.partitioner.shard_of(key)]
+        """The instance owning ``key`` under the current generation."""
+        return self.shards[self.routing.shard_of(key)]
+
+    # -- migration delta capture (DESIGN.md §16) -------------------------
+    def begin_delta_capture(self, lo: int, hi: int) -> None:
+        """Start recording mutations to keys in ``[lo, hi]`` — the delta
+        that accumulates while a migration copies the range from a
+        pinned snapshot.  Zero-cost when no capture is active."""
+        if self._capture is not None:
+            raise RuntimeError("a delta capture is already active")
+        self._capture = (int(lo), int(hi), [])
+
+    def end_delta_capture(self) -> list[tuple[str, int, int]]:
+        """Stop recording; returns the captured ``(op, key, value)``
+        mutations in arrival order."""
+        if self._capture is None:
+            raise RuntimeError("no delta capture active")
+        _, _, ops = self._capture
+        self._capture = None
+        return ops
+
+    def _log_mutation(self, op: str, key: int, value: int = 0) -> None:
+        if self._capture is not None:
+            lo, hi, ops = self._capture
+            if lo <= key <= hi:
+                ops.append((op, int(key), int(value)))
 
     # -- ConcurrentMap protocol ------------------------------------------
     def contains_gen(self, key: int) -> Generator:
@@ -131,12 +168,14 @@ class ShardedMap:
 
     def insert_gen(self, key: int, value: int = 0, hint=None) -> Generator:
         shard = self.shard_for(key)
+        self._log_mutation("insert", key, value)
         if hint is not None:
             return shard.insert_gen(key, value, hint=hint)
         return shard.insert_gen(key, value)
 
     def delete_gen(self, key: int, hint=None) -> Generator:
         shard = self.shard_for(key)
+        self._log_mutation("delete", key)
         if hint is not None:
             return shard.delete_gen(key, hint=hint)
         return shard.delete_gen(key)
@@ -219,9 +258,16 @@ class ShardedMap:
     # -- engine shard-aware hooks -----------------------------------------
     def split_batch(self, batch: OpBatch) -> list[np.ndarray]:
         """Stable per-shard op-id arrays for ``batch`` (also refreshes
-        :attr:`last_shard_ops` for balance reporting)."""
+        :attr:`last_shard_ops` for balance reporting).
+
+        Latches the routing generation: every vector dispatch of this
+        batch routes against the same plan the split used, even if a
+        migration publishes a newer generation before the batch
+        drains."""
+        self._route_gen = self.routing.generation
         per_shard = split_indices(
-            self.partitioner.shard_of_array(batch.keys), self.n_shards)
+            self.routing.shard_of_array(batch.keys, self._route_gen),
+            self.n_shards)
         self.last_shard_ops = [int(ix.size) for ix in per_shard]
         return per_shard
 
@@ -236,8 +282,10 @@ class ShardedMap:
         global waves by wave index."""
         from ..engine.vectorized import plan_waves as plan
         keys = np.asarray(keys, dtype=np.int64)
-        per_shard = split_indices(self.partitioner.shard_of_array(keys),
-                                  self.n_shards)
+        self._route_gen = self.routing.generation
+        per_shard = split_indices(
+            self.routing.shard_of_array(keys, self._route_gen),
+            self.n_shards)
         self.last_shard_ops = [int(ix.size) for ix in per_shard]
         shard_budget = max(1, wave_size // self.n_shards)
         plans = []
@@ -253,22 +301,39 @@ class ShardedMap:
         from ..core.vector import contains_multi
         keys = np.asarray(keys, dtype=np.int64)
         return contains_multi(self.shards,
-                              self.partitioner.shard_of_array(keys),
+                              self.routing.shard_of_array(
+                                  keys, self._route_gen),
                               keys, tracer=tracer)
 
     def _vector_search(self, keys, tracer=None):
         from ..core.vector import search_multi
         keys = np.asarray(keys, dtype=np.int64)
         return search_multi(self.shards,
-                            self.partitioner.shard_of_array(keys),
+                            self.routing.shard_of_array(
+                                keys, self._route_gen),
                             keys, tracer=tracer)
 
     def _vector_update_wave(self, ops, keys, values, tracer=None):
         from ..core.vector import update_wave
         keys = np.asarray(keys, dtype=np.int64)
-        return update_wave(self.shards,
-                           self.partitioner.shard_of_array(keys),
-                           ops, keys, values, tracer=tracer)
+        ops = np.asarray(ops, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        out = update_wave(self.shards,
+                          self.routing.shard_of_array(
+                              keys, self._route_gen),
+                          ops, keys, values, tracer=tracer)
+        if self._capture is not None:
+            # Rows the batched kernel resolved never reach the
+            # generator factories, so log their successful mutations
+            # here (fallback rows log via insert_gen/delete_gen).
+            results, handled, _, _ = out
+            for i in np.nonzero(handled & results)[0]:
+                if int(ops[i]) == OP_INSERT:
+                    self._log_mutation("insert", int(keys[i]),
+                                       int(values[i]))
+                else:
+                    self._log_mutation("delete", int(keys[i]))
+        return out
 
     def execute_batch(self, batch, backend="vectorized", commit="per-op"):
         """Replay an :class:`~repro.engine.OpBatch` through a backend
@@ -381,7 +446,7 @@ class ShardedSnapshot:
 def build_sharded(kind: str, n_shards: int, workload, *,
                   team_size: int = 32, p_chunk: float = 1.0,
                   p_key: float = 0.5, device=None, seed: int = 0,
-                  partitioner="range") -> ShardedMap:
+                  partitioner="range", headroom: float = 1.0) -> ShardedMap:
     """Build a prefilled, warmed ``ShardedMap`` of ``n_shards``
     instances of ``kind`` ("gfsl"/"mc") co-located on one device.
 
@@ -390,11 +455,18 @@ def build_sharded(kind: str, n_shards: int, workload, *,
     to the sum of the aligned regions, and each shard bulk-builds and
     L2-warms its own region through the registry's placement-explicit
     builders.
+
+    ``headroom`` over-provisions every shard's pool by that factor —
+    required for elastic resharding, where a migration rebuilds a
+    destination shard with keys its own partition never budgeted for.
+    At the default 1.0 sizing is bit-identical to the static build.
     """
     if kind not in STRUCTURES:
         raise ValueError(f"unknown structure kind {kind!r}")
     if n_shards < 1:
         raise ValueError("need at least one shard")
+    if headroom < 1.0:
+        raise ValueError("headroom must be >= 1.0")
     part = make_partitioner(partitioner, n_shards, int(workload.key_range))
 
     prefill = np.asarray(workload.prefill, dtype=np.int64)
@@ -406,8 +478,9 @@ def build_sharded(kind: str, n_shards: int, workload, *,
                else np.zeros(0, dtype=np.int64))
 
     expected = [
-        int(np.count_nonzero(pf_ids == s))
-        + int(np.count_nonzero(ins_ids == s)) + 8
+        int(math.ceil((int(np.count_nonzero(pf_ids == s))
+                       + int(np.count_nonzero(ins_ids == s))) * headroom))
+        + 8
         for s in range(n_shards)
     ]
     if n_shards == 1:

@@ -135,8 +135,26 @@ def zipf_keys(rng: np.random.Generator, key_range: int, n: int,
     return perm[ranks]
 
 
+def front_keys(rng: np.random.Generator, key_range: int, n: int,
+               s: float = 1.0) -> np.ndarray:
+    """Front-loaded Zipf(s) keys: rank *r* **is** key *r* — the smallest
+    keys are the hottest, with no scattering permutation.
+
+    This is the priority-queue drain / delete-min adversary ("Practical
+    Concurrent Priority Queues", PAPERS.md): all the heat piles onto the
+    lowest chunks, and under range partitioning onto *shard 0*.  The
+    permuted :func:`zipf_keys` deliberately destroys exactly this
+    clustering, so elastic-resharding campaigns need this variant —
+    a scattered hot set never produces a hot shard to migrate away.
+    """
+    support = np.arange(1, key_range + 1, dtype=np.float64)
+    probs = support ** -s
+    probs /= probs.sum()
+    return rng.choice(key_range, size=n, p=probs).astype(np.int64) + 1
+
+
 #: Key distributions :func:`generate` accepts (the paper uses uniform).
-DISTRIBUTIONS = ("uniform", "zipf", "hotspot")
+DISTRIBUTIONS = ("uniform", "zipf", "hotspot", "front")
 
 #: Hotspot defaults: 90% of operations hit a seeded 10% of the range.
 HOT_FRACTION = 0.1
@@ -170,8 +188,9 @@ def generate(mixture: Mixture, key_range: int, n_ops: int,
     Delete-only workloads draw keys without replacement (the paper sizes
     these runs to the key range so each key is deleted about once).
     ``distribution`` selects uniform keys (the paper's setting),
-    ``"zipf"`` skewed keys, or ``"hotspot"`` keys (extensions; see
-    :func:`zipf_keys` / :func:`hotspot_keys`).
+    ``"zipf"`` skewed keys, ``"hotspot"`` keys, or ``"front"``
+    front-loaded keys (extensions; see :func:`zipf_keys` /
+    :func:`hotspot_keys` / :func:`front_keys`).
 
     Every draw — prefill, op codes, keys (all distribution paths), and
     insert payloads, in that order — comes from the single
@@ -196,6 +215,8 @@ def generate(mixture: Mixture, key_range: int, n_ops: int,
         keys = zipf_keys(rng, key_range, n_ops, s=zipf_s)
     elif distribution == "hotspot":
         keys = hotspot_keys(rng, key_range, n_ops)
+    elif distribution == "front":
+        keys = front_keys(rng, key_range, n_ops, s=zipf_s)
     elif mixture.kind == "delete-only" and n_ops <= key_range:
         keys = rng.permutation(np.arange(1, key_range + 1,
                                          dtype=np.int64))[:n_ops]

@@ -193,7 +193,9 @@ def run_workload(structure_kind: str, workload: Workload,
     base_kind, kind_shards = parse_structure_kind(structure_kind)
     is_sharded = "@" in structure_kind or shards is not None
     n_shards = kind_shards if shards is None else int(shards)
-    if base_kind == "gfsl":
+    if base_kind in ("gfsl", "pq"):
+        # ``pq`` is a GFSL build behind a priority-queue wrapper: same
+        # layout, kernel profile, and contention charge.
         kernel = GFSL_KERNEL
         if team_size < 32:
             # Sub-warp teams pay mask-management overhead on every
@@ -213,13 +215,17 @@ def run_workload(structure_kind: str, workload: Workload,
                                 partitioner=partitioner,
                                 team_size=team_size, p_chunk=p_chunk,
                                 device=device, seed=seed)
+        elif base_kind == "pq":
+            st = make_structure(base_kind, workload, team_size=team_size,
+                                p_chunk=p_chunk, device=device, seed=seed)
         else:
             st = build_gfsl(workload, team_size=team_size, p_chunk=p_chunk,
                             device=device, seed=seed)
         slots = max(1, len(workload.prefill)
                     // _per_chunk(st.geo, DEFAULT_FILL))
         conflict = GFSL_CONTENTION
-        label = f"GFSL-{team_size}"
+        base_label = "PQ" if base_kind == "pq" else "GFSL"
+        label = f"{base_label}-{team_size}"
     elif base_kind == "mc":
         if enforce_paper_oom and not mc_paper_scale_feasible(
                 workload.key_range, workload.mixture):

@@ -29,7 +29,7 @@ def hotspot_doc():
 
 class TestSchema:
     def test_schema_id_and_validation(self, doc):
-        assert B.SCHEMA_ID == "repro-bench/6"
+        assert B.SCHEMA_ID == "repro-bench/7"
         assert doc["schema"] == B.SCHEMA_ID
         assert B.validate_bench(doc) == []
 
@@ -55,12 +55,12 @@ class TestSchema:
         uniform_keys = {B.row_key(r) for r in doc["rows"]}
         hotspot_keys = {B.row_key(r) for r in hotspot_doc["rows"]}
         assert not (uniform_keys & hotspot_keys)
-        assert all(k[-3] == "hotspot" for k in hotspot_keys)
+        assert all(k[-4] == "hotspot" for k in hotspot_keys)
 
     def test_v3_rows_without_distribution_still_key(self, doc):
         legacy = dict(doc["rows"][0])
         legacy.pop("distribution")
-        assert B.row_key(legacy)[-3] == "uniform"
+        assert B.row_key(legacy)[-4] == "uniform"
         assert B.row_key(legacy) == B.row_key(doc["rows"][0])
 
 

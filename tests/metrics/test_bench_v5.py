@@ -126,7 +126,7 @@ class TestMarkdown:
         assert "Serve campaigns" not in B.render_markdown(replay_doc)
 
     def test_regression_entries_handle_v4_keys(self, replay_doc):
-        legacy_key = B.row_key(replay_doc["rows"][0])[:-1]   # 7 elements
+        legacy_key = B.row_key(replay_doc["rows"][0])[:7]    # v4 shape
         comparison = {"regressions": [
             {"row": legacy_key, "old_mops": 2.0, "new_mops": 1.0,
              "delta": -0.5}], "improvements": [], "unmatched": []}

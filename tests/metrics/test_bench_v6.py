@@ -45,8 +45,9 @@ def doc(rows):
 class TestRowIdentity:
     def test_adaptive_is_part_of_the_key(self, rows):
         assert B.row_key(rows[False]) != B.row_key(rows[True])
-        assert B.row_key(rows[False])[-2] is False
-        assert B.row_key(rows[True])[-2] is True
+        # Since v7 the key ends (..., adaptive, elastic, source).
+        assert B.row_key(rows[False])[-3] is False
+        assert B.row_key(rows[True])[-3] is True
         # ``source`` stays last, as v5 consumers assume.
         assert B.row_key(rows[True])[-1] == "serve"
 
@@ -56,11 +57,12 @@ class TestRowIdentity:
         assert B.row_key(legacy) == B.row_key(rows[False])
 
     def test_pad_handles_v4_and_v5_keys(self, rows):
-        v6 = B.row_key(rows[False])
-        assert B._pad_row_key(v6[:7]) == v6[:7] + (False, "replay")
-        v5 = v6[:7] + ("serve",)
-        assert B._pad_row_key(v5) == v6[:7] + (False, "serve")
-        assert B._pad_row_key(v6) == v6
+        key = B.row_key(rows[False])
+        assert B._pad_row_key(key[:7]) \
+            == key[:7] + (False, False, "replay")
+        v5 = key[:7] + ("serve",)
+        assert B._pad_row_key(v5) == key[:7] + (False, False, "serve")
+        assert B._pad_row_key(key) == key
 
     def test_static_and_adaptive_coexist_in_one_file(self, rows, tmp_path):
         path = tmp_path / "BENCH_both.json"

@@ -68,7 +68,7 @@ class TestServeBenchCommand:
         assert sum(histogram["point_us"].values()) \
             == histogram["point_samples"]
         doc = json.loads(bench.read_text())
-        assert doc["schema"] == "repro-bench/6"
+        assert doc["schema"] == "repro-bench/7"
         assert doc["rows"][0]["source"] == "serve"
 
     def test_max_p99_gate_fails_closed(self, capsys):
@@ -78,3 +78,31 @@ class TestServeBenchCommand:
             "--admit-rate", "400", "--seed", "11", "--max-p99", "0.5"])
         assert code == 1
         assert "exceeds the --max-p99 bound" in capsys.readouterr().err
+
+    def test_elastic_without_adaptive_is_a_usage_error(self, capsys):
+        code = cli.main([
+            "serve-bench", "--structure", "pq@2", "--requests", "100",
+            "--elastic"])
+        assert code == 2
+        assert "--elastic needs --adaptive" in capsys.readouterr().err
+
+    def test_elastic_run_writes_the_migration_artifact(self, tmp_path,
+                                                       capsys):
+        mig = tmp_path / "migration_events.json"
+        code = cli.main([
+            "serve-bench", "--structure", "pq@2", "--requests", "400",
+            "--clients", "8", "--range", "2048", "--mix", "30", "15",
+            "50", "5", "--rate", "1200", "--deadline-steps", "6000",
+            "--distribution", "front", "--seed", "11",
+            "--admit-rate", "600", "--adaptive",
+            "--control-interval", "100", "--elastic",
+            "--partitioner", "range", "--headroom", "2.0",
+            "--snapshot-audit", "--migration-out", str(mig)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "resharding: migrations=" in out
+        doc = json.loads(mig.read_text())
+        assert doc["elastic"] is True
+        assert doc["migrations"] == len(
+            [e for e in doc["events"] if e["status"] == "published"])
+        assert len(doc["routing_history"]) == doc["migrations"]

@@ -1,0 +1,159 @@
+"""MigrationExecutor: online key-range moves between co-located shards."""
+
+import pytest
+
+from repro.serve.aio import VirtualLoop
+from repro.shard import MigrationConfig, MigrationExecutor, build_sharded
+from repro.workloads import MIX_10_10_80, generate
+
+
+def _sharded(n_shards=3, headroom=2.0, seed=5, team_size=32):
+    w = generate(MIX_10_10_80, key_range=3_000, n_ops=200, seed=seed)
+    return build_sharded("gfsl", n_shards, w, partitioner="range",
+                         headroom=headroom, team_size=team_size)
+
+
+def _run(loop, coro, max_steps=200_000):
+    return loop.run_until_complete(coro, max_steps=max_steps)
+
+
+class FaultStub:
+    """The slice of ServeFaultInjector the executor consults."""
+
+    def __init__(self, frozen_until=None, aborts=0):
+        self.frozen_until = frozen_until or {}
+        self.aborts_left = aborts
+        self.abort_calls = 0
+
+    def frozen(self, sid, now):
+        return now < self.frozen_until.get(sid, -1)
+
+    def abort_migration(self):
+        self.abort_calls += 1
+        if self.aborts_left > 0:
+            self.aborts_left -= 1
+            return True
+        return False
+
+
+def test_migrate_moves_the_range_and_preserves_contents():
+    sm = _sharded()
+    before = sm.items()
+    (lo, hi, owner) = sm.routing.segments(sid=0)[0]
+    lo, hi = lo, min(hi, lo + 400)
+    loop = VirtualLoop()
+    ex = MigrationExecutor(sm, loop)
+
+    assert _run(loop, ex.migrate(0, 2, lo, hi)) is True
+    assert sm.routing.generation == 1
+    assert sm.items() == before, "migration changed the map contents"
+    moved = [k for k, _v in before if lo <= k <= hi]
+    src_local = {k for k, _v in sm.shards[0].items()}
+    dst_local = {k for k, _v in sm.shards[2].items()}
+    assert not src_local & set(moved), "source still holds donated keys"
+    assert set(moved) <= dst_local, "destination is missing moved keys"
+    for k in moved[:10]:
+        assert sm.shard_of(k) == 2
+        assert sm.contains(k)
+    [event] = ex.events
+    assert event["status"] == "published" and event["generation"] == 1
+    assert event["moved_keys"] == len(moved)
+    assert event["reconciled"] == 0
+
+
+def test_writes_during_the_copy_phase_arrive_via_the_delta():
+    sm = _sharded()
+    lo, hi = 1, 500
+    loop = VirtualLoop()
+    ex = MigrationExecutor(sm, loop, config=MigrationConfig(
+        copy_slice=16, slice_steps=50))
+    new_key = 123
+    gone_key = next(k for k, _v in sm.items() if lo <= k <= hi
+                    and k != new_key)
+
+    async def main():
+        task = loop.create_task(ex.migrate(0, 1, lo, hi), "mig")
+        await loop.sleep(60)            # inside the costed copy phase
+        assert sm.insert(new_key, 77) or sm.delete(new_key)
+        sm.insert(new_key, 77)
+        sm.delete(gone_key)
+        return await task
+
+    assert _run(loop, main()) is True
+    [event] = ex.events
+    assert event["status"] == "published"
+    assert event["delta_ops"] >= 2, "copy-phase writes missed the capture"
+    assert event["reconciled"] == 0
+    assert sm.contains(new_key) and not sm.contains(gone_key)
+    assert sm.shard_of(new_key) == 1
+    dst_local = dict(sm.shards[1].items())
+    assert dst_local.get(new_key) == 77
+    assert gone_key not in dst_local
+
+
+def test_injected_abort_is_clean_and_the_retry_publishes():
+    sm = _sharded()
+    before = sm.items()
+    faults = FaultStub(aborts=1)
+    loop = VirtualLoop()
+    ex = MigrationExecutor(sm, loop, faults=faults)
+
+    assert _run(loop, ex.migrate(0, 1, 1, 600)) is True
+    statuses = [e["status"] for e in ex.events]
+    assert statuses == ["aborted", "published"]
+    assert ex.events[1]["attempt"] == 2
+    assert sm.items() == before
+    assert sm.routing.generation == 1
+
+
+def test_frozen_shard_defers_the_attempt():
+    sm = _sharded()
+    loop = VirtualLoop()
+    cfg = MigrationConfig(retry_backoff_steps=100)
+    faults = FaultStub(frozen_until={1: 150})
+    ex = MigrationExecutor(sm, loop, config=cfg, faults=faults)
+
+    assert _run(loop, ex.migrate(0, 1, 1, 400)) is True
+    statuses = [e["status"] for e in ex.events]
+    assert statuses[0] == "frozen" and statuses[-1] == "published"
+
+
+def test_exhausted_attempts_fail_without_mutating():
+    sm = _sharded()
+    before = sm.items()
+    loop = VirtualLoop()
+    faults = FaultStub(aborts=99)
+    ex = MigrationExecutor(sm, loop, config=MigrationConfig(max_attempts=2),
+                           faults=faults)
+
+    assert _run(loop, ex.migrate(0, 1, 1, 400)) is False
+    assert [e["status"] for e in ex.events] \
+        == ["aborted", "aborted", "failed"]
+    assert sm.items() == before
+    assert sm.routing.generation == 0
+
+
+def test_capacity_precheck_aborts_before_touching_either_shard():
+    # headroom=1.0 + small chunks size each shard's pool for its own
+    # keys only, so donating a whole neighbouring segment cannot fit.
+    sm = _sharded(headroom=1.0, team_size=8)
+    before = sm.items()
+    per_shard = [sorted(k for k, _v in s.items()) for s in sm.shards]
+    (lo, hi, _owner) = sm.routing.segments(sid=0)[0]
+    loop = VirtualLoop()
+    ex = MigrationExecutor(sm, loop)
+
+    assert _run(loop, ex.migrate(0, 1, lo, hi)) is False
+    [event] = ex.events
+    assert event["status"] == "aborted-capacity"
+    assert sm.routing.generation == 0
+    assert sm.items() == before
+    assert [sorted(k for k, _v in s.items()) for s in sm.shards] \
+        == per_shard, "a shard was rebuilt despite the failed precheck"
+
+
+def test_same_shard_move_is_rejected():
+    sm = _sharded()
+    ex = MigrationExecutor(sm, VirtualLoop())
+    with pytest.raises(ValueError, match="same"):
+        _run(VirtualLoop(), ex.migrate(1, 1, 1, 10))

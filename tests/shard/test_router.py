@@ -38,3 +38,14 @@ def test_merge_waves_zips_by_wave_index():
     assert merge_waves([[[7, 8], [9]]]) == [[7, 8], [9]]
     # Empty global waves are dropped.
     assert merge_waves([[], []]) == []
+
+
+def test_merge_waves_tolerates_idle_shards_with_no_waves():
+    # A migrated-away or idle shard contributes an *empty* wave list —
+    # zip() must not silently truncate the other shards' waves.
+    merged = merge_waves([[[0, 2], [4]], []])
+    assert merged == [[0, 2], [4]]
+    assert merge_waves([[], [[1], [3]], []]) == [[1], [3]]
+    # All shards idle: no waves at all.
+    assert merge_waves([]) == []
+    assert merge_waves([[], [], []]) == []

@@ -159,3 +159,24 @@ def test_sharded_execute_batch_matches_sequential_reference():
     ref_out = make_backend("sequential").execute(ref, batch)
     assert out.results == ref_out.results
     assert sm.keys() == ref.keys()
+
+
+def test_aggregate_queries_at_three_shards_match_the_bare_structure():
+    # S=3: boundaries don't align with powers of two, so off-by-one
+    # segment arithmetic in routing/range assembly shows up here.
+    w = _workload()
+    bare = make_structure("gfsl", w, seed=0)
+    sm = build_sharded("gfsl", 3, w)
+    assert sm.keys() == bare.keys()
+    assert sm.items() == bare.items()
+    assert sm.min_key() == bare.min_key()
+    assert sm.max_key() == bare.max_key()
+    keys = bare.keys()
+    spans = [(keys[0], keys[-1]),                    # everything
+             (keys[2], keys[len(keys) // 2]),        # straddles shards
+             (keys[-3], keys[-1]),                   # inside one shard
+             (w.key_range + 1, w.key_range + 50)]    # empty window
+    for lo, hi in spans:
+        assert sm.range_query(lo, hi) == bare.range_query(lo, hi), \
+            f"range [{lo}, {hi}] diverges at S=3"
+    assert len(sm) == len(bare)

@@ -77,4 +77,4 @@ class TestBackCompat:
         with pytest.raises(ValueError, match="distribution"):
             generate(MIX_10_10_80, key_range=100, n_ops=10, seed=0,
                      distribution="pareto")
-        assert DISTRIBUTIONS == ("uniform", "zipf", "hotspot")
+        assert DISTRIBUTIONS == ("uniform", "zipf", "hotspot", "front")
